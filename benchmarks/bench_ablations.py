@@ -1,0 +1,180 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Not paper figures -- these probe the knobs around the Delayed Commit
+Protocol:
+
+- delegation chunk size (the paper fixes 16 MB; how sensitive is the
+  merge ratio to it?);
+- the cross-AG allocation strategy (``locality`` vs literal
+  ``round-robin``, §V.A);
+- the adaptive thread pool against fixed-size pools;
+- the commit-queue capacity (backpressure) under overload.
+"""
+
+import pytest
+
+from benchmarks.common import run_once
+from repro.analysis import Table
+from repro.core.thread_pool import ThreadPoolPolicy
+from repro.fs import ClusterConfig, RedbudCluster
+from repro.workloads import XcdnWorkload
+
+DURATION = 2.0
+
+
+def xcdn():
+    return XcdnWorkload(file_size=32 * 1024, seed_files_per_client=20)
+
+
+def run_config(config, seed=43, workload=None):
+    cluster = RedbudCluster(config, seed=seed)
+    return cluster.run_workload(
+        workload or xcdn(), duration=DURATION, warmup=0.3
+    )
+
+
+def test_ablation_delegation_chunk_size(benchmark):
+    """Merge ratio vs delegated chunk size (paper uses 16 MB)."""
+    sizes = [1, 4, 16, 64]  # MB
+
+    def run():
+        out = {}
+        for mb in sizes:
+            config = ClusterConfig.space_delegation_config(
+                num_clients=7, delegation_chunk=mb * 1024 * 1024
+            )
+            result = run_config(config)
+            out[mb] = (
+                result.extras["merge_ratio"],
+                result.ops_per_second,
+            )
+        return out
+
+    out = run_once(benchmark, run)
+    table = Table(
+        ["chunk (MB)", "merge ratio", "ops/s"],
+        title="Ablation -- delegation chunk size (xcdn 32KB)",
+    )
+    for mb in sizes:
+        table.add_row(mb, out[mb][0], out[mb][1])
+    table.print()
+    # Merging already works at small chunks; it must not degrade as the
+    # chunk grows to the paper's 16 MB.
+    assert out[16][0] > 1.5
+    assert out[16][0] >= 0.7 * max(r for r, _ in out.values())
+
+
+def test_ablation_ag_strategy(benchmark):
+    """Cross-AG strategy shapes how far successive MDS allocations land.
+
+    With per-file extent alignment, MDS-side allocation never merges at
+    any strategy; the strategy's visible effect is the *placement
+    spread* of a client's consecutive writes -- locality keeps them in
+    one AG (short hops), rotation strategies scatter them volume-wide
+    (the §IV.A motivation for delegation).
+    """
+    from repro.storage.blktrace import placement_analysis
+
+    def run():
+        out = {}
+        for strategy in ("locality", "round-robin", "random"):
+            config = ClusterConfig.delayed_commit(
+                num_clients=7, ag_strategy=strategy
+            )
+            cluster = RedbudCluster(config, seed=43)
+            result = cluster.run_workload(
+                xcdn(), duration=DURATION, warmup=0.3
+            )
+            analysis = placement_analysis(
+                cluster.blktrace,
+                op="write",
+                since=result.metrics.start_time or 0.0,
+            )
+            out[strategy] = (
+                analysis.mean_seek_distance / 1e6,
+                result.ops_per_second,
+            )
+        return out
+
+    out = run_once(benchmark, run)
+    table = Table(
+        ["AG strategy", "mean write hop (MB)", "ops/s"],
+        title="Ablation -- cross-AG allocation strategy (delayed, no delegation)",
+    )
+    for k, (hop, ops) in out.items():
+        table.add_row(k, hop, ops)
+    table.print()
+    # Rotation strategies scatter a client's consecutive writes across
+    # the volume; locality keeps the hops short.
+    assert out["round-robin"][0] > 3 * out["locality"][0]
+    assert out["random"][0] > 3 * out["locality"][0]
+
+
+def test_ablation_thread_pool_adaptivity(benchmark):
+    """The adaptive pool against pinned 1-thread and 9-thread pools."""
+
+    def run():
+        out = {}
+        for name, policy in {
+            "adaptive (1..9)": ThreadPoolPolicy(max_threads=9),
+            "fixed 1": ThreadPoolPolicy(
+                max_threads=1, min_threads=1, max_queue_len=450
+            ),
+            "fixed 9": ThreadPoolPolicy(
+                max_threads=9, min_threads=9, max_queue_len=450
+            ),
+        }.items():
+            config = ClusterConfig.space_delegation_config(
+                num_clients=7, thread_pool=policy
+            )
+            result = run_config(config)
+            out[name] = (
+                result.ops_per_second,
+                result.extras["commit_rpcs"],
+                result.extras["ops_committed"],
+            )
+        return out
+
+    out = run_once(benchmark, run)
+    table = Table(
+        ["pool", "ops/s", "commit RPCs", "ops committed"],
+        title="Ablation -- commit thread pool sizing (xcdn 32KB)",
+    )
+    for k, (ops, rpcs, committed) in out.items():
+        table.add_row(k, ops, rpcs, committed)
+    table.print()
+    # The adaptive pool keeps up with the workload: it must commit at
+    # least as much as the single pinned thread and stay within reach
+    # of the fully provisioned pool.
+    assert out["adaptive (1..9)"][2] >= out["fixed 1"][2] * 0.9
+    assert out["adaptive (1..9)"][0] >= out["fixed 9"][0] * 0.8
+
+
+def test_ablation_commit_queue_backpressure(benchmark):
+    """A tiny commit queue throttles the application but stays correct."""
+
+    def run():
+        out = {}
+        for capacity in (8, 4096):
+            config = ClusterConfig.space_delegation_config(
+                num_clients=7, commit_queue_capacity=capacity
+            )
+            cluster = RedbudCluster(config, seed=43)
+            result = cluster.run_workload(
+                xcdn(), duration=DURATION, warmup=0.3
+            )
+            committed = result.extras["ops_committed"]
+            out[capacity] = (result.ops_per_second, committed)
+        return out
+
+    out = run_once(benchmark, run)
+    table = Table(
+        ["queue capacity", "ops/s", "ops committed"],
+        title="Ablation -- commit queue capacity (backpressure)",
+    )
+    for k, v in out.items():
+        table.add_row(k, v[0], v[1])
+    table.print()
+    # Both configurations make forward progress; commits flow either way.
+    assert out[8][1] > 0
+    assert out[4096][1] > 0

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Watch the adaptive machinery react to a bursty workload (Fig. 6 live).
+
+Drives one client with alternating idle and flood phases and renders the
+commit-thread count against the commit-queue length as an ASCII dual
+plot -- the same two series the paper traces in Figure 6 -- plus the
+compound-degree history.
+
+Run::
+
+    python examples/adaptive_commit_demo.py
+"""
+
+from repro.analysis import dual_series
+from repro.fs import ClusterConfig, RedbudCluster
+
+
+def main() -> None:
+    config = ClusterConfig.space_delegation_config(num_clients=2)
+    cluster = RedbudCluster(config, seed=3)
+    env = cluster.env
+    fs = cluster.clients[0]
+
+    def bursty_app():
+        counter = 0
+        for phase in range(4):
+            # Flood: a burst of small updates back-to-back.
+            for _ in range(180):
+                fid = yield from fs.create(f"burst/{counter}")
+                counter += 1
+                yield from fs.write(fid, 0, 16 * 1024)
+            # Idle: let the daemons drain and the pool shrink.
+            yield env.timeout(1.5)
+
+    env.process(bursty_app())
+    env.run(until=8.0)
+
+    samples = fs.thread_pool.samples
+    print(
+        dual_series(
+            [s[0] for s in samples],
+            [s[1] for s in samples],
+            [s[2] for s in samples],
+            a_label="commit threads",
+            b_label="commit queue length",
+            title="Adaptive commit thread pool under a bursty client",
+            width=76,
+            height=12,
+        )
+    )
+    print(
+        f"\npool: {fs.thread_pool.spawns} spawns, "
+        f"{fs.thread_pool.retires} retires; "
+        f"commits: {fs.daemon_ctx.stats.ops_committed} ops in "
+        f"{fs.daemon_ctx.stats.rpcs_sent} RPCs "
+        f"(mean compound degree "
+        f"{fs.daemon_ctx.stats.mean_degree:.2f})"
+    )
+    if fs.compound.history:
+        steps = ", ".join(
+            f"t={t:.2f}s->{d}" for t, d in fs.compound.history[:8]
+        )
+        print(f"adaptive compound degree steps: {steps}")
+    else:
+        print("adaptive compound degree never needed to leave 1 "
+              "(uncongested network and MDS)")
+
+
+if __name__ == "__main__":
+    main()

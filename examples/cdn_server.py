@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""CDN edge-store scenario: the paper's headline xcdn experiment.
+
+Runs the xcdn workload (small-object ingest + cold serves, the paper's
+Content Delivery Network benchmark) on the full 7-client cluster in the
+three Redbud configurations of Fig. 4, and reports throughput, I/O merge
+ratio and seek behaviour -- the mechanics behind the paper's 2.6x
+speedup claim.
+
+Run::
+
+    python examples/cdn_server.py [--file-size 32768] [--duration 4]
+"""
+
+import argparse
+
+from repro.analysis import Table
+from repro.fs import ClusterConfig, RedbudCluster
+from repro.storage.blktrace import placement_analysis
+from repro.util import fmt_bytes, fmt_rate
+from repro.workloads import XcdnWorkload
+
+CONFIGS = {
+    "original Redbud": ClusterConfig.original_redbud,
+    "delayed commit": ClusterConfig.delayed_commit,
+    "delayed + delegation": ClusterConfig.space_delegation_config,
+}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--file-size", type=int, default=32 * 1024)
+    parser.add_argument("--duration", type=float, default=4.0)
+    parser.add_argument("--clients", type=int, default=7)
+    args = parser.parse_args()
+
+    table = Table(
+        ["configuration", "ops/s", "throughput", "merge ratio",
+         "mean write hop", "speedup"],
+        title=(
+            f"xcdn, {fmt_bytes(args.file_size)} objects, "
+            f"{args.clients} clients, {args.duration:.0f}s virtual"
+        ),
+    )
+    baseline = None
+    for name, factory in CONFIGS.items():
+        cluster = RedbudCluster(factory(num_clients=args.clients), seed=21)
+        workload = XcdnWorkload(
+            file_size=args.file_size, seed_files_per_client=30
+        )
+        result = cluster.run_workload(workload, duration=args.duration)
+        if baseline is None:
+            baseline = result
+        placement = placement_analysis(
+            cluster.blktrace,
+            op="write",
+            since=result.metrics.start_time or 0.0,
+        )
+        table.add_row(
+            name,
+            result.ops_per_second,
+            fmt_rate(result.bytes_per_second),
+            result.extras["merge_ratio"],
+            fmt_bytes(placement.mean_seek_distance),
+            result.speedup_over(baseline),
+        )
+    table.print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Crash and recover: ordered writes keep the file system consistent.
+
+Drives a busy delayed-commit cluster, pulls the plug mid-flight at an
+arbitrary instant, checks the ordered-writes invariant, and runs orphan
+garbage collection -- §I and §III of the paper end to end.  Then repeats
+the experiment with the deliberately broken *unordered* control mode to
+show the invariant checker catching dangling metadata.
+
+Run::
+
+    python examples/crash_recovery.py
+"""
+
+from repro.analysis.metrics import OpMetrics
+from repro.consistency import check_ordered_writes, crash_cluster, recover
+from repro.fs import ClusterConfig, RedbudCluster
+from repro.util import fmt_bytes
+from repro.workloads import XcdnWorkload
+from repro.workloads.spec import WorkloadContext
+
+
+def launch(commit_mode: str):
+    config = ClusterConfig(
+        num_clients=3,
+        commit_mode=commit_mode,
+        space_delegation=(commit_mode != "synchronous"),
+    )
+    cluster = RedbudCluster(config, seed=31)
+    env = cluster.env
+    workload = XcdnWorkload(file_size=32 * 1024, seed_files_per_client=10)
+    shared: dict = {}
+    contexts = [
+        WorkloadContext(
+            env=env,
+            fs=cluster.clients[i],
+            rng=cluster.root_rng.stream("wl", i),
+            client_index=i,
+            num_clients=config.num_clients,
+            metrics=OpMetrics(),
+            shared=shared,
+        )
+        for i in range(config.num_clients)
+    ]
+    setups = [env.process(workload.setup(ctx)) for ctx in contexts]
+    env.run(until=env.all_of(setups))
+
+    def forever(ctx, tid):
+        while True:
+            yield from workload.op(ctx, tid)
+
+    for ctx in contexts:
+        for tid in range(workload.threads_per_client):
+            env.process(forever(ctx, tid))
+    return cluster
+
+
+def main() -> None:
+    print("=== delayed commit (ordered writes kept by the file system) ===")
+    cluster = launch("delayed")
+    state = crash_cluster(cluster, at_time=cluster.env.now + 0.37)
+    print(
+        f"power loss at t={state.crash_time:.3f}s: lost "
+        f"{state.lost_commit_records} queued commit records and "
+        f"{state.lost_block_requests} in-flight block writes"
+    )
+    report = recover(state)
+    print(f"pre-GC : {report.pre_check.summary()}")
+    print(
+        f"orphans: {fmt_bytes(report.orphan_bytes_reclaimed)} reclaimed by GC"
+    )
+    print(f"post-GC: {report.post_check.summary()}")
+    assert report.recovered_consistent
+
+    print("\n=== unordered control mode (the bug ordered writes prevent) ===")
+    for attempt in range(8):
+        cluster = launch("unordered")
+        state = crash_cluster(cluster, at_time=cluster.env.now + 0.05 * (attempt + 1))
+        report = check_ordered_writes(
+            state.namespace, state.stable, state.space
+        )
+        if not report.consistent:
+            print(f"crash at t={state.crash_time:.3f}s: {report.summary()}")
+            worst = report.violations[0]
+            print(f"example violation: {worst.detail}")
+            break
+    else:
+        print("(no violation surfaced in these attempts -- rerun)")
+
+
+if __name__ == "__main__":
+    main()

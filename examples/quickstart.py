@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Quickstart: build a Redbud cluster and feel the Delayed Commit Protocol.
+
+Creates the same small cluster twice -- once with the original
+synchronous ordered writes, once with delayed commit + space delegation
+-- runs an identical burst of small-file updates on each, and prints the
+per-update latency and the background I/O behaviour.
+
+Run::
+
+    python examples/quickstart.py
+"""
+
+from repro.analysis import Table
+from repro.fs import ClusterConfig, RedbudCluster
+from repro.util import fmt_time
+
+
+def run(commit_mode: str, delegation: bool) -> dict:
+    config = ClusterConfig(
+        num_clients=2,
+        commit_mode=commit_mode,
+        space_delegation=delegation,
+    )
+    cluster = RedbudCluster(config, seed=7)
+    env = cluster.env
+    fs = cluster.clients[0]
+    latencies = []
+
+    def app():
+        # Write sixty 32 KB files, timing each update call.
+        for i in range(60):
+            fid = yield from fs.create(f"demo/file-{i}")
+            start = env.now
+            yield from fs.write(fid, 0, 32 * 1024)
+            latencies.append(env.now - start)
+        # Make everything durable before reading the clock.
+        yield from fs.shutdown()
+
+    env.process(app())
+    env.run(until=30.0)
+
+    stats = fs.blockdev.scheduler.stats
+    return {
+        "mode": f"{commit_mode}{' + delegation' if delegation else ''}",
+        "mean_update": sum(latencies) / len(latencies),
+        "makespan": env.now if not latencies else max(latencies) and env.now,
+        "disk_ops": stats.dispatched,
+        "merge_ratio": stats.merge_ratio,
+        "commits_rpcs": (
+            fs.daemon_ctx.stats.rpcs_sent
+            if fs.daemon_ctx is not None
+            else fs.protocol.commits_sent
+        ),
+    }
+
+
+def main() -> None:
+    sync = run("synchronous", False)
+    delayed = run("delayed", True)
+
+    table = Table(
+        ["configuration", "mean update latency", "disk ops", "merge ratio",
+         "commit RPCs"],
+        title="60 x 32KB small-file updates, one client (plus one neighbour)",
+    )
+    for r in (sync, delayed):
+        table.add_row(
+            r["mode"],
+            fmt_time(r["mean_update"]),
+            r["disk_ops"],
+            r["merge_ratio"],
+            r["commits_rpcs"],
+        )
+    table.print()
+
+    speedup = sync["mean_update"] / delayed["mean_update"]
+    print(
+        f"\nDelayed commit returned from each update {speedup:.0f}x faster: "
+        "the ordered write (data before metadata) still happened, but in "
+        "the background, where the queued requests merged "
+        f"({delayed['merge_ratio']:.1f} submissions per disk op -- "
+        f"{delayed['disk_ops']} disk ops instead of {sync['disk_ops']}). "
+        "Under heavier load the commit daemons also compound several "
+        "commits per RPC (see examples/cdn_server.py)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,124 @@
+#!/usr/bin/env python
+"""Calibration driver: prints the Fig. 3 / Fig. 4 shapes for tuning.
+
+Not a benchmark -- a development tool used to check that the simulated
+cluster reproduces the paper's qualitative results (see DESIGN.md §4)
+while tuning parameters.  Run directly::
+
+    python scripts/calibrate.py [--quick]
+"""
+
+import argparse
+import time
+
+from repro.analysis import Table
+from repro.fs import ClusterConfig, RedbudCluster, build_cluster
+from repro.workloads import (
+    FileserverWorkload,
+    NpbBtIoWorkload,
+    VarmailWorkload,
+    WebproxyWorkload,
+    XcdnWorkload,
+)
+
+
+def workloads(quick):
+    scale = 0.5 if quick else 1.0
+    return {
+        "fileserver": lambda: FileserverWorkload(
+            seed_files_per_client=int(20 * scale) or 10
+        ),
+        "varmail": lambda: VarmailWorkload(
+            seed_files_per_client=int(20 * scale) or 10
+        ),
+        "webproxy": lambda: WebproxyWorkload(
+            seed_files_per_client=int(30 * scale) or 10
+        ),
+        "xcdn-32K": lambda: XcdnWorkload(
+            file_size=32 * 1024, seed_files_per_client=int(40 * scale) or 10
+        ),
+        "xcdn-1M": lambda: XcdnWorkload(
+            file_size=1024 * 1024,
+            seed_files_per_client=int(15 * scale) or 5,
+        ),
+        "npb-bt": lambda: NpbBtIoWorkload(),
+    }
+
+
+def fig3(quick=False, num_clients=7, duration=3.0):
+    systems = ["pvfs2", "nfs3", "redbud-original", "redbud-delayed"]
+    table = Table(
+        ["workload"] + systems + ["delayed/original"],
+        title="Fig. 3 shape: ops/s (normalised to original Redbud)",
+    )
+    for wl_name, make in workloads(quick).items():
+        row = [wl_name]
+        results = {}
+        for system in systems:
+            t0 = time.time()
+            cluster = build_cluster(system, num_clients=num_clients, seed=11)
+            res = cluster.run_workload(make(), duration=duration, warmup=0.3)
+            results[system] = res
+            lat = " ".join(
+                f"{op}={res.latency(op).mean * 1000:.2f}ms"
+                for op in res.metrics.op_types()
+            )
+            util = res.extras.get("array_utilization", "")
+            util = f" util={util:.2f}" if util != "" else ""
+            print(
+                f"  [{wl_name}/{system}] ops/s={res.ops_per_second:9.1f} "
+                f"wall={time.time() - t0:5.1f}s{util}\n      {lat}"
+            )
+        # NPB issues different op granularities per system (strided vs
+        # collective), so normalise it by data throughput instead.
+        metric = (
+            (lambda r: r.bytes_per_second)
+            if wl_name.startswith("npb")
+            else (lambda r: r.ops_per_second)
+        )
+        base = metric(results["redbud-original"]) or 1.0
+        for system in systems:
+            row.append(metric(results[system]) / base)
+        row.append(metric(results["redbud-delayed"]) / base)
+        table.add_row(*row)
+    table.print()
+
+
+def fig4(num_clients=7, duration=3.0):
+    configs = {
+        "original": ClusterConfig.original_redbud,
+        "delayed": ClusterConfig.delayed_commit,
+        "delegation": ClusterConfig.space_delegation_config,
+    }
+    table = Table(
+        ["file size", "original", "delayed", "delegation", "deleg/delayed"],
+        title="Fig. 4 shape: I/O merge ratio",
+    )
+    for size in (32 * 1024, 64 * 1024, 1024 * 1024):
+        row = [f"{size // 1024}KB"]
+        ratios = {}
+        for name, factory in configs.items():
+            cluster = RedbudCluster(factory(num_clients=num_clients), seed=11)
+            wl = XcdnWorkload(file_size=size, seed_files_per_client=20)
+            res = cluster.run_workload(wl, duration=duration, warmup=0.3)
+            ratios[name] = res.extras["merge_ratio"]
+        for name in configs:
+            row.append(ratios[name])
+        row.append(
+            ratios["delegation"] / ratios["delayed"]
+            if ratios["delayed"] > 0
+            else 0.0
+        )
+        table.add_row(*row)
+    table.print()
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--quick", action="store_true")
+    parser.add_argument("--fig", choices=["3", "4", "all"], default="all")
+    args = parser.parse_args()
+    if args.fig in ("3", "all"):
+        fig3(quick=args.quick)
+    if args.fig in ("4", "all"):
+        fig4()

@@ -1,0 +1,5 @@
+"""Setuptools entry point (metadata lives in pyproject.toml)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,22 @@
+"""Metrics, merge-ratio computation, time series, and table rendering.
+
+Everything the benchmark harness needs to turn a simulation run into the
+rows and series the paper's tables and figures report.
+"""
+
+from repro.analysis.asciiplot import dual_series, scatter
+from repro.analysis.mergeratio import aggregate_merge_ratio
+from repro.analysis.metrics import LatencyStats, OpMetrics
+from repro.analysis.report import Table
+from repro.analysis.timeseries import TimeSeries, summarize_pool_samples
+
+__all__ = [
+    "LatencyStats",
+    "OpMetrics",
+    "Table",
+    "TimeSeries",
+    "aggregate_merge_ratio",
+    "dual_series",
+    "scatter",
+    "summarize_pool_samples",
+]

@@ -1,0 +1,144 @@
+"""ASCII rendering of the paper's figure types.
+
+The benches print these next to their numeric tables so the plots of
+Fig. 5 (address-over-time scatter) and Fig. 6 (two series over time) can
+be eyeballed directly in the pytest output, without a plotting stack.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+import numpy as np
+
+
+def scatter(
+    xs: _t.Sequence[float],
+    ys: _t.Sequence[float],
+    width: int = 72,
+    height: int = 16,
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render an x/y scatter as an ASCII grid (Fig. 5 panels).
+
+    Density shading: ``.`` one point, ``+`` a few, ``#`` many per cell.
+    """
+    if width < 8 or height < 4:
+        raise ValueError("plot area too small")
+    xs = np.asarray(xs, dtype=float)
+    ys = np.asarray(ys, dtype=float)
+    lines: _t.List[str] = []
+    if title:
+        lines.append(title)
+    if xs.size == 0:
+        lines.append("(no data)")
+        return "\n".join(lines)
+
+    x0, x1 = float(xs.min()), float(xs.max())
+    y0, y1 = float(ys.min()), float(ys.max())
+    x_span = (x1 - x0) or 1.0
+    y_span = (y1 - y0) or 1.0
+    counts = np.zeros((height, width), dtype=int)
+    cols = np.minimum(
+        ((xs - x0) / x_span * (width - 1)).astype(int), width - 1
+    )
+    rows = np.minimum(
+        ((ys - y0) / y_span * (height - 1)).astype(int), height - 1
+    )
+    np.add.at(counts, (rows, cols), 1)
+
+    dense = max(2, int(counts.max()) // 4)
+    for r in range(height - 1, -1, -1):
+        chars = []
+        for c in range(width):
+            n = counts[r, c]
+            if n == 0:
+                chars.append(" ")
+            elif n == 1:
+                chars.append(".")
+            elif n <= dense:
+                chars.append("+")
+            else:
+                chars.append("#")
+        prefix = f"{_si(y1) if r == height - 1 else _si(y0) if r == 0 else '':>8} |"
+        lines.append(prefix + "".join(chars))
+    lines.append(" " * 8 + "-" * (width + 1))
+    footer = f"{_si(x0):>8} {x_label:^{max(0, width - 16)}}{_si(x1):>8}"
+    lines.append(footer)
+    if y_label:
+        lines.append(f"(y: {y_label})")
+    return "\n".join(lines)
+
+
+def dual_series(
+    times: _t.Sequence[float],
+    a: _t.Sequence[float],
+    b: _t.Sequence[float],
+    a_label: str = "a",
+    b_label: str = "b",
+    width: int = 72,
+    height: int = 12,
+    title: str = "",
+) -> str:
+    """Render two series on one time axis (Fig. 6 panels).
+
+    Series *a* plots as ``*`` against the left scale, series *b* as
+    ``o`` against the right scale; collisions show ``@``.
+    """
+    times = np.asarray(times, dtype=float)
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    lines: _t.List[str] = []
+    if title:
+        lines.append(title)
+    if times.size == 0:
+        lines.append("(no data)")
+        return "\n".join(lines)
+
+    t0, t1 = float(times.min()), float(times.max())
+    t_span = (t1 - t0) or 1.0
+    a_max = float(a.max()) or 1.0
+    b_max = float(b.max()) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    cols = np.minimum(
+        ((times - t0) / t_span * (width - 1)).astype(int), width - 1
+    )
+
+    def plot(series, top, mark):
+        rows = np.minimum(
+            (series / top * (height - 1)).astype(int), height - 1
+        )
+        for col, row in zip(cols, rows):
+            cell = grid[row][col]
+            if cell == " ":
+                grid[row][col] = mark
+            elif cell != mark:
+                grid[row][col] = "@"
+
+    plot(a, a_max, "*")
+    plot(b, b_max, "o")
+
+    for r in range(height - 1, -1, -1):
+        left = _si(a_max) if r == height - 1 else ("0" if r == 0 else "")
+        right = _si(b_max) if r == height - 1 else ("0" if r == 0 else "")
+        lines.append(f"{left:>6} |" + "".join(grid[r]) + f"| {right}")
+    lines.append(" " * 6 + "-" * (width + 2))
+    lines.append(
+        f"{_si(t0):>6} {'time':^{max(0, width - 10)}}{_si(t1):>6}"
+    )
+    lines.append(f"(*: {a_label} -- left scale, o: {b_label} -- right scale)")
+    return "\n".join(lines)
+
+
+def _si(value: float) -> str:
+    """Compact SI-ish number formatting for axis labels."""
+    value = float(value)
+    for factor, suffix in ((1e9, "G"), (1e6, "M"), (1e3, "K")):
+        if abs(value) >= factor:
+            return f"{value / factor:.3g}{suffix}"
+    if value == int(value):
+        return str(int(value))
+    return f"{value:.3g}"

@@ -1,0 +1,30 @@
+"""I/O merge-ratio computation (Fig. 4).
+
+The merge ratio of one run is the number of submitted block requests per
+dispatched disk operation, aggregated over every client's elevator queue.
+An all-synchronous run dispatches every request individually (ratio 1.0);
+delayed commit raises it; space delegation multiplies it further.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.storage.scheduler import ElevatorScheduler, SchedulerStats
+
+
+def aggregate_merge_ratio(
+    schedulers: _t.Iterable[ElevatorScheduler],
+) -> SchedulerStats:
+    """Pool the per-client scheduler stats into one aggregate."""
+    total = SchedulerStats()
+    for scheduler in schedulers:
+        scheduler.stats.merged_into(total)
+    return total
+
+
+def write_merge_ratio(
+    schedulers: _t.Iterable[ElevatorScheduler],
+) -> float:
+    """Convenience: the pooled submitted/dispatched ratio."""
+    return aggregate_merge_ratio(schedulers).merge_ratio

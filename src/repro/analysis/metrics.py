@@ -1,0 +1,124 @@
+"""Operation-level metric accumulation.
+
+Each workload thread records every completed operation here; the harness
+then reads ops/sec, per-type latency percentiles, and byte throughput --
+the quantities behind the Fig. 3 normalised-performance bars.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Summary of a latency sample set (seconds)."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    max: float
+
+    @classmethod
+    def from_samples(cls, samples: _t.Sequence[float]) -> "LatencyStats":
+        if not samples:
+            return cls(0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        arr = np.asarray(samples, dtype=float)
+        return cls(
+            count=len(arr),
+            mean=float(arr.mean()),
+            p50=float(np.percentile(arr, 50)),
+            p95=float(np.percentile(arr, 95)),
+            p99=float(np.percentile(arr, 99)),
+            max=float(arr.max()),
+        )
+
+
+class OpMetrics:
+    """Accumulates (op type, latency, bytes) tuples during a run."""
+
+    def __init__(self) -> None:
+        self._latencies: _t.Dict[str, _t.List[float]] = {}
+        self._bytes: _t.Dict[str, int] = {}
+        self._counts: _t.Dict[str, int] = {}
+        self.start_time: _t.Optional[float] = None
+        self.end_time: _t.Optional[float] = None
+
+    def record(
+        self, op: str, latency: float, nbytes: int = 0, now: float = 0.0
+    ) -> None:
+        if latency < 0:
+            raise ValueError(f"negative latency {latency}")
+        self._latencies.setdefault(op, []).append(latency)
+        self._counts[op] = self._counts.get(op, 0) + 1
+        self._bytes[op] = self._bytes.get(op, 0) + nbytes
+        if self.start_time is None:
+            self.start_time = now - latency
+        self.end_time = now
+
+    # -- aggregate views ----------------------------------------------------
+
+    @property
+    def total_ops(self) -> int:
+        return sum(self._counts.values())
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self._bytes.values())
+
+    def count(self, op: str) -> int:
+        return self._counts.get(op, 0)
+
+    def bytes_for(self, op: str) -> int:
+        return self._bytes.get(op, 0)
+
+    def op_types(self) -> _t.List[str]:
+        return sorted(self._counts)
+
+    def latency(self, op: _t.Optional[str] = None) -> LatencyStats:
+        """Latency stats for one op type, or pooled across all."""
+        if op is not None:
+            return LatencyStats.from_samples(self._latencies.get(op, []))
+        pooled: _t.List[float] = []
+        for samples in self._latencies.values():
+            pooled.extend(samples)
+        return LatencyStats.from_samples(pooled)
+
+    def ops_per_second(self, duration: _t.Optional[float] = None) -> float:
+        d = duration if duration is not None else self.elapsed()
+        return self.total_ops / d if d > 0 else 0.0
+
+    def bytes_per_second(self, duration: _t.Optional[float] = None) -> float:
+        d = duration if duration is not None else self.elapsed()
+        return self.total_bytes / d if d > 0 else 0.0
+
+    def elapsed(self) -> float:
+        if self.start_time is None or self.end_time is None:
+            return 0.0
+        return self.end_time - self.start_time
+
+    def merge_from(self, other: "OpMetrics") -> None:
+        """Fold another accumulator (e.g. another client's) into this one."""
+        for op, samples in other._latencies.items():
+            self._latencies.setdefault(op, []).extend(samples)
+        for op, count in other._counts.items():
+            self._counts[op] = self._counts.get(op, 0) + count
+        for op, nbytes in other._bytes.items():
+            self._bytes[op] = self._bytes.get(op, 0) + nbytes
+        if other.start_time is not None:
+            self.start_time = (
+                other.start_time
+                if self.start_time is None
+                else min(self.start_time, other.start_time)
+            )
+        if other.end_time is not None:
+            self.end_time = (
+                other.end_time
+                if self.end_time is None
+                else max(self.end_time, other.end_time)
+            )

@@ -1,0 +1,58 @@
+"""Fixed-width table rendering shared by the benchmark harness.
+
+The benches print their reproduction of each paper table/figure with
+these tables so ``pytest benchmarks/ --benchmark-only`` output can be
+compared against the paper side by side (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+
+class Table:
+    """A simple fixed-width text table."""
+
+    def __init__(self, headers: _t.Sequence[str], title: str = "") -> None:
+        self.title = title
+        self.headers = [str(h) for h in headers]
+        self.rows: _t.List[_t.List[str]] = []
+
+    def add_row(self, *cells: _t.Any) -> "Table":
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"expected {len(self.headers)} cells, got {len(cells)}"
+            )
+        self.rows.append([_fmt(c) for c in cells])
+        return self
+
+    def render(self) -> str:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines: _t.List[str] = []
+        if self.title:
+            lines.append(self.title)
+        sep = "-+-".join("-" * w for w in widths)
+        lines.append(
+            " | ".join(h.ljust(w) for h, w in zip(self.headers, widths))
+        )
+        lines.append(sep)
+        for row in self.rows:
+            lines.append(
+                " | ".join(c.ljust(w) for c, w in zip(row, widths))
+            )
+        return "\n".join(lines)
+
+    def print(self) -> None:
+        print()
+        print(self.render())
+
+
+def _fmt(cell: _t.Any) -> str:
+    if isinstance(cell, float):
+        if cell != 0 and abs(cell) < 0.01:
+            return f"{cell:.2e}"
+        return f"{cell:.2f}"
+    return str(cell)

@@ -1,0 +1,113 @@
+"""Sampled time series (Fig. 6: commit threads vs. queue length)."""
+
+from __future__ import annotations
+
+import typing as _t
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class TimeSeries:
+    """A (time, value) series with summary helpers."""
+
+    def __init__(
+        self, points: _t.Iterable[_t.Tuple[float, float]] = ()
+    ) -> None:
+        self._times: _t.List[float] = []
+        self._values: _t.List[float] = []
+        for t, v in points:
+            self.append(t, v)
+
+    def append(self, time: float, value: float) -> None:
+        if self._times and time < self._times[-1]:
+            raise ValueError("time series must be appended in order")
+        self._times.append(time)
+        self._values.append(value)
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    @property
+    def times(self) -> np.ndarray:
+        return np.asarray(self._times, dtype=float)
+
+    @property
+    def values(self) -> np.ndarray:
+        return np.asarray(self._values, dtype=float)
+
+    def mean(self) -> float:
+        return float(np.mean(self._values)) if self._values else 0.0
+
+    def max(self) -> float:
+        return float(np.max(self._values)) if self._values else 0.0
+
+    def min(self) -> float:
+        return float(np.min(self._values)) if self._values else 0.0
+
+    def fraction_at(self, value: float) -> float:
+        """Fraction of samples exactly at ``value`` (e.g. pinned at max)."""
+        if not self._values:
+            return 0.0
+        arr = np.asarray(self._values)
+        return float(np.mean(arr == value))
+
+    def bucketed(self, bucket: float) -> _t.List[_t.Tuple[float, float]]:
+        """Mean value per time bucket -- for compact ASCII plots."""
+        if not self._times:
+            return []
+        out: _t.List[_t.Tuple[float, float]] = []
+        t0 = self._times[0]
+        acc: _t.List[float] = []
+        edge = t0 + bucket
+        for t, v in zip(self._times, self._values):
+            if t >= edge:
+                if acc:
+                    out.append((edge - bucket, float(np.mean(acc))))
+                while t >= edge:
+                    edge += bucket
+                acc = []
+            acc.append(v)
+        if acc:
+            out.append((edge - bucket, float(np.mean(acc))))
+        return out
+
+
+@dataclass(frozen=True)
+class PoolSummary:
+    """Digest of an adaptive-pool sample trace (one Fig. 6 panel)."""
+
+    samples: int
+    mean_threads: float
+    max_threads: int
+    mean_queue: float
+    max_queue: int
+    fraction_at_max_threads: float
+    #: Pearson correlation between thread count and queue length; the
+    #: paper's claim is that threads *track* queue length, i.e. this is
+    #: clearly positive for bursty workloads.
+    thread_queue_correlation: float
+
+
+def summarize_pool_samples(
+    samples: _t.Sequence[_t.Tuple[float, int, int]],
+    max_threads: int,
+) -> PoolSummary:
+    """Summarise (time, threads, queue_len) samples from the pool."""
+    if not samples:
+        return PoolSummary(0, 0.0, 0, 0.0, 0, 0.0, 0.0)
+    threads = np.asarray([s[1] for s in samples], dtype=float)
+    queue = np.asarray([s[2] for s in samples], dtype=float)
+    if threads.std() > 0 and queue.std() > 0:
+        corr = float(np.corrcoef(threads, queue)[0, 1])
+    else:
+        corr = 0.0
+    return PoolSummary(
+        samples=len(samples),
+        mean_threads=float(threads.mean()),
+        max_threads=int(threads.max()),
+        mean_queue=float(queue.mean()),
+        max_queue=int(queue.max()),
+        fraction_at_max_threads=float(np.mean(threads == max_threads)),
+        thread_queue_correlation=corr,
+    )

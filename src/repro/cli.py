@@ -1,0 +1,255 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``run``
+    Run one workload on one system and print the result summary.
+``compare``
+    Run one workload across all four Fig. 3 systems, normalised.
+``figures``
+    List the benchmark modules that regenerate the paper's figures.
+``crash``
+    Crash a busy delayed-commit cluster at a chosen instant, verify the
+    ordered-writes invariant, and run recovery.
+
+Examples
+--------
+::
+
+    python -m repro run --system redbud-delayed --workload xcdn-32K
+    python -m repro compare --workload varmail --duration 3
+    python -m repro crash --at 0.4 --mode unordered
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import typing as _t
+
+from repro.analysis import Table
+from repro.consistency import (
+    check_ordered_writes,
+    crash_cluster,
+    fsck,
+    recover,
+)
+from repro.fs import build_cluster
+from repro.fs.factory import SYSTEMS
+from repro.util import fmt_rate, fmt_time
+from repro.workloads import (
+    FileserverWorkload,
+    NpbBtIoWorkload,
+    VarmailWorkload,
+    WebproxyWorkload,
+    XcdnWorkload,
+)
+
+WORKLOADS: _t.Dict[str, _t.Callable[[], _t.Any]] = {
+    "fileserver": lambda: FileserverWorkload(seed_files_per_client=15),
+    "varmail": lambda: VarmailWorkload(seed_files_per_client=15),
+    "webproxy": lambda: WebproxyWorkload(seed_files_per_client=20),
+    "xcdn-32K": lambda: XcdnWorkload(
+        file_size=32 * 1024, seed_files_per_client=25
+    ),
+    "xcdn-64K": lambda: XcdnWorkload(
+        file_size=64 * 1024, seed_files_per_client=15
+    ),
+    "xcdn-1M": lambda: XcdnWorkload(
+        file_size=1024 * 1024, seed_files_per_client=8
+    ),
+    "npb-bt": lambda: NpbBtIoWorkload(),
+}
+
+FIGURES = {
+    "fig1": "benchmarks/bench_fig1_overlap.py -- computing/I-O overlap",
+    "fig3": "benchmarks/bench_fig3_overall.py -- 4 systems x 5 workloads",
+    "fig4": "benchmarks/bench_fig4_merge_ratio.py -- I/O merge ratios",
+    "fig5": "benchmarks/bench_fig5_seeks.py -- seek traces",
+    "fig6": "benchmarks/bench_fig6_threads.py -- adaptive thread pool",
+    "fig7": "benchmarks/bench_fig7_compound.py -- compound degree x daemons",
+    "ablations": "benchmarks/bench_ablations.py -- design-knob ablations",
+}
+
+
+def _metric(workload_name: str):
+    if workload_name.startswith("npb"):
+        return lambda r: r.bytes_per_second
+    return lambda r: r.ops_per_second
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    cluster = build_cluster(
+        args.system, num_clients=args.clients, seed=args.seed
+    )
+    workload = WORKLOADS[args.workload]()
+    result = cluster.run_workload(workload, duration=args.duration)
+    table = Table(
+        ["metric", "value"],
+        title=f"{args.system} / {args.workload} "
+        f"({args.clients} clients, {args.duration:.1f}s virtual)",
+    )
+    table.add_row("ops completed", result.ops_completed)
+    table.add_row("ops/s", result.ops_per_second)
+    table.add_row("throughput", fmt_rate(result.bytes_per_second))
+    table.add_row("mean op latency", fmt_time(result.latency().mean))
+    table.add_row("p95 op latency", fmt_time(result.latency().p95))
+    for key in ("merge_ratio", "array_utilization", "mean_compound_degree"):
+        if key in result.extras:
+            table.add_row(key, result.extras[key])
+    table.print()
+    for op in result.metrics.op_types():
+        stats = result.latency(op)
+        print(
+            f"  {op:>12}: n={stats.count:<7} mean={fmt_time(stats.mean)} "
+            f"p95={fmt_time(stats.p95)}"
+        )
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    metric = _metric(args.workload)
+    results = {}
+    for system in SYSTEMS:
+        cluster = build_cluster(
+            system, num_clients=args.clients, seed=args.seed
+        )
+        results[system] = cluster.run_workload(
+            WORKLOADS[args.workload](), duration=args.duration
+        )
+        print(f"  {system}: done", file=sys.stderr)
+    base = metric(results["redbud-original"])
+    table = Table(
+        ["system", "ops/s", "throughput", "normalised"],
+        title=f"{args.workload}: all systems (normalised to original Redbud)",
+    )
+    for system in SYSTEMS:
+        r = results[system]
+        table.add_row(
+            system,
+            r.ops_per_second,
+            fmt_rate(r.bytes_per_second),
+            metric(r) / base if base else 0.0,
+        )
+    table.print()
+    return 0
+
+
+def cmd_figures(_args: argparse.Namespace) -> int:
+    table = Table(["figure", "bench"], title="Paper figures -> benches")
+    for fig, bench in FIGURES.items():
+        table.add_row(fig, bench)
+    table.print()
+    print("\nRun one with: pytest <bench file> --benchmark-only -s")
+    return 0
+
+
+def cmd_crash(args: argparse.Namespace) -> int:
+    from repro.analysis.metrics import OpMetrics
+    from repro.fs import ClusterConfig, RedbudCluster
+    from repro.workloads.spec import WorkloadContext
+
+    config = ClusterConfig(
+        num_clients=args.clients,
+        commit_mode=args.mode,
+        space_delegation=(args.mode != "synchronous"),
+    )
+    cluster = RedbudCluster(config, seed=args.seed)
+    env = cluster.env
+    workload = WORKLOADS[args.workload]()
+    shared: dict = {}
+    contexts = [
+        WorkloadContext(
+            env=env,
+            fs=cluster.clients[i],
+            rng=cluster.root_rng.stream("wl", i),
+            client_index=i,
+            num_clients=args.clients,
+            metrics=OpMetrics(),
+            shared=shared,
+        )
+        for i in range(args.clients)
+    ]
+    setups = [env.process(workload.setup(ctx)) for ctx in contexts]
+    env.run(until=env.all_of(setups))
+
+    def forever(ctx, tid):
+        while True:
+            yield from workload.op(ctx, tid)
+
+    for ctx in contexts:
+        for tid in range(workload.threads_per_client):
+            env.process(forever(ctx, tid))
+
+    state = crash_cluster(cluster, at_time=env.now + args.at)
+    print(
+        f"crash at t={state.crash_time:.3f}s: lost "
+        f"{state.lost_commit_records} commit records, "
+        f"{state.lost_block_requests} in-flight block writes"
+    )
+    report = check_ordered_writes(
+        state.namespace, state.stable, state.space
+    )
+    print(report.summary())
+    for violation in report.violations[:5]:
+        print(f"  - {violation.detail}")
+    recovery = recover(state)
+    print(
+        f"recovery reclaimed {recovery.orphan_bytes_reclaimed} orphan "
+        f"bytes; post-GC: {recovery.post_check.summary()}"
+    )
+    print(fsck(state.namespace, state.space).summary())
+    return 0 if recovery.recovered_consistent else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description=(
+            "Delayed Commit Protocol reproduction (CLUSTER 2012) -- "
+            "simulated Redbud parallel file system"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--clients", type=int, default=7)
+        p.add_argument("--seed", type=int, default=11)
+        p.add_argument("--duration", type=float, default=3.0)
+        p.add_argument(
+            "--workload", choices=sorted(WORKLOADS), default="xcdn-32K"
+        )
+
+    p_run = sub.add_parser("run", help="run one workload on one system")
+    common(p_run)
+    p_run.add_argument("--system", choices=SYSTEMS, default="redbud-delayed")
+    p_run.set_defaults(func=cmd_run)
+
+    p_cmp = sub.add_parser("compare", help="run one workload on all systems")
+    common(p_cmp)
+    p_cmp.set_defaults(func=cmd_compare)
+
+    p_fig = sub.add_parser("figures", help="list figure benches")
+    p_fig.set_defaults(func=cmd_figures)
+
+    p_crash = sub.add_parser("crash", help="crash + verify + recover")
+    common(p_crash)
+    p_crash.add_argument(
+        "--mode",
+        choices=("synchronous", "delayed", "unordered"),
+        default="delayed",
+    )
+    p_crash.add_argument(
+        "--at", type=float, default=0.3, help="crash after this many seconds"
+    )
+    p_crash.set_defaults(func=cmd_crash)
+    return parser
+
+
+def main(argv: _t.Optional[_t.List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

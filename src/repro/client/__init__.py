@@ -1,0 +1,17 @@
+"""The Redbud client.
+
+A client node owns a page cache, a block device queue into the shared
+array (its FC data path), an RPC connection to the MDS (its Ethernet
+metadata path), and -- depending on configuration -- the delayed-commit
+machinery (commit queue, adaptive daemon pool, compound controller) and
+a space-delegation double pool.
+
+:class:`RedbudClient` exposes the POSIX-ish generator API that the
+workload generators drive: ``create`` / ``write`` / ``read`` / ``fsync``
+/ ``close`` / ``unlink`` / ``stat``.
+"""
+
+from repro.client.client import RedbudClient
+from repro.client.filesystem import FileSystemAPI
+
+__all__ = ["FileSystemAPI", "RedbudClient"]

@@ -1,0 +1,417 @@
+"""The Redbud client node.
+
+Wires together the paper's client-side stack (Fig. 2): page cache,
+direct FC data path to the shared array, Ethernet RPC path to the MDS,
+and -- per configuration -- the Delayed Commit machinery of §III/§IV.
+
+Write path (an *update* in the paper's vocabulary):
+
+1. acquire backing space -- locally from the delegated double pool for
+   small files, or via a ``layout-get`` RPC otherwise;
+2. buffer the data in the page cache and issue ``writepage`` to the
+   block device (asynchronously -- the completion event is kept);
+3. finish per the commit protocol: synchronous commit waits for the data
+   and the commit RPC inline; delayed commit enqueues a commit record
+   and returns at memory speed.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.core.commit_queue import CommitQueue
+from repro.core.compound import CompoundController, CompoundPolicy
+from repro.core.daemon import CommitDaemonContext
+from repro.core.delegation import DoubleSpacePool
+from repro.core.protocol import (
+    CommitProtocol,
+    DelayedCommitProtocol,
+    make_protocol,
+)
+from repro.core.records import CommitRecord
+from repro.core.thread_pool import AdaptiveCommitThreadPool, ThreadPoolPolicy
+from repro.client.filesystem import FileSystemAPI
+from repro.mds.extent import Extent
+from repro.net.messages import (
+    CreatePayload,
+    DelegationPayload,
+    GetattrPayload,
+    LayoutGetPayload,
+    UnlinkPayload,
+)
+from repro.net.rpc import RpcClient
+from repro.sim.events import Event
+from repro.storage.blockdev import BlockDevice
+from repro.storage.cache import PageCache
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Environment
+
+
+def _segments(
+    length: int, segment: _t.Optional[int]
+) -> _t.Iterator[_t.Tuple[int, int]]:
+    """Yield (offset, length) pieces of a write; one piece if unsplit."""
+    if segment is None or length <= segment:
+        yield 0, length
+        return
+    cursor = 0
+    while cursor < length:
+        piece = min(segment, length - cursor)
+        yield cursor, piece
+        cursor += piece
+
+
+class RedbudClient(FileSystemAPI):
+    """One client node of the Redbud cluster."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        client_id: int,
+        rpc: RpcClient,
+        blockdev: BlockDevice,
+        cache: _t.Optional[PageCache] = None,
+        commit_mode: str = "synchronous",
+        delegation: _t.Optional[DoubleSpacePool] = None,
+        commit_queue_capacity: int = 4096,
+        thread_pool_policy: ThreadPoolPolicy = ThreadPoolPolicy(),
+        compound_policy: CompoundPolicy = CompoundPolicy(),
+        fixed_compound_degree: _t.Optional[int] = None,
+        device_id: int = 0,
+        dirty_limit: int = 64 * 1024 * 1024,
+    ) -> None:
+        self.env = env
+        self.client_id = client_id
+        self.rpc = rpc
+        self.blockdev = blockdev
+        self.cache = cache if cache is not None else PageCache()
+        self.commit_mode = commit_mode
+        self.delegation = delegation
+        self.device_id = device_id
+
+        self.commit_queue: _t.Optional[CommitQueue] = None
+        self.thread_pool: _t.Optional[AdaptiveCommitThreadPool] = None
+        self.compound: _t.Optional[CompoundController] = None
+        self.daemon_ctx: _t.Optional[CommitDaemonContext] = None
+
+        needs_queue = commit_mode in ("delayed", "unordered")
+        if needs_queue:
+            self.commit_queue = CommitQueue(
+                env, capacity=commit_queue_capacity
+            )
+            self.compound = CompoundController(
+                env,
+                uplink=rpc.transport.uplink,
+                policy=compound_policy,
+                fixed_degree=fixed_compound_degree,
+            )
+            self.daemon_ctx = CommitDaemonContext(
+                env,
+                self.commit_queue,
+                rpc,
+                self.compound,
+                on_committed=self._on_record_committed,
+            )
+            self.thread_pool = AdaptiveCommitThreadPool(
+                env, self.daemon_ctx, policy=thread_pool_policy
+            )
+
+        self.protocol: CommitProtocol = make_protocol(
+            commit_mode, env, rpc, self.commit_queue
+        )
+
+        #: All not-yet-committed records per file (fsync waits on these).
+        self._pending_records: _t.Dict[int, _t.Set[CommitRecord]] = {}
+        self._refill_event: _t.Optional[Event] = None
+        #: Writeback throttling (the kernel's dirty-pages limit): when the
+        #: page cache holds this many un-persisted bytes, new writes block
+        #: until the disk drains some -- this is what keeps delayed commit
+        #: honest on large-file workloads (no infinite memory buffering).
+        self.dirty_limit = dirty_limit
+        self._dirty_waiters: _t.List[Event] = []
+        self.dirty_throttle_events = 0
+        #: Async writeback submission granularity (a writepage batch).
+        self.writeback_segment = 16 * 1024
+        #: Large streaming writes go out in full-size block-layer
+        #: requests instead (no point splitting what cannot merge more).
+        self.writeback_large_segment = 128 * 1024
+        self.crashed = False
+
+        # -- statistics --
+        self.writes = 0
+        self.reads = 0
+        self.bytes_written = 0
+        self.bytes_read = 0
+        self.read_disk_hits = 0
+        self.short_reads = 0
+
+    # ------------------------------------------------------------------
+    # FileSystemAPI
+    # ------------------------------------------------------------------
+
+    def create(self, name: str) -> _t.Generator:
+        meta = yield self.rpc.call("create", CreatePayload(name=name))
+        return meta.file_id
+
+    def write(
+        self,
+        file_id: int,
+        offset: int,
+        length: int,
+        scattered: bool = False,
+    ) -> _t.Generator:
+        if length <= 0:
+            raise ValueError(f"write length must be positive, got {length}")
+        self.writes += 1
+        self.bytes_written += length
+
+        # Dirty-pages throttle: block while the cache holds too much
+        # un-persisted data (writeback backpressure, as in the kernel).
+        while self.cache.dirty_bytes + length > self.dirty_limit and (
+            self.cache.dirty_bytes > 0
+        ):
+            self.dirty_throttle_events += 1
+            # Memory pressure kicks writeback: plugged writes go out now.
+            self.blockdev.scheduler.expedite_all_writes()
+            waiter = Event(self.env)
+            self._dirty_waiters.append(waiter)
+            yield waiter
+
+        extents = yield from self._acquire_space(
+            file_id, offset, length, scattered
+        )
+
+        # Page cache + writepage: issue the data I/O now (§III.A step 1).
+        # Synchronous commit blocks the application, so each extent goes
+        # out as one sync request.  Delayed commit's data is async
+        # writeback: it is submitted in page-batch segments (the
+        # writepage granularity) which the block layer re-merges --
+        # within a file always, and across files when allocation made
+        # them adjacent (space delegation).
+        self.cache.write(file_id, offset, length)
+        sync_write = self.commit_mode == "synchronous"
+        data_events: _t.List[Event] = []
+        for extent in extents:
+            if sync_write:
+                segment = None
+            elif extent.length > 8 * self.writeback_segment:
+                segment = self.writeback_large_segment
+            else:
+                segment = self.writeback_segment
+            for seg_off, seg_len in _segments(extent.length, segment):
+                event = self.blockdev.submit_write(
+                    extent.volume_offset + seg_off,
+                    seg_len,
+                    file_id,
+                    sync=sync_write,
+                )
+                event.callbacks.append(
+                    lambda _ev, e=extent, so=seg_off, sl=seg_len: (
+                        self._data_write_done(
+                            file_id, e.file_offset + so, sl
+                        )
+                    )
+                )
+                data_events.append(event)
+
+        record = yield from self.protocol.finish_update(
+            file_id, extents, data_events
+        )
+        if record is not None:
+            self._pending_records.setdefault(file_id, set()).add(record)
+
+    def read(self, file_id: int, offset: int, length: int) -> _t.Generator:
+        if length <= 0:
+            raise ValueError(f"read length must be positive, got {length}")
+        self.reads += 1
+        self.bytes_read += length
+
+        if self.cache.read_hit(file_id, offset, length):
+            return True
+        reply = yield self.rpc.call(
+            "layout_get",
+            LayoutGetPayload(file_id=file_id, offset=offset, length=length),
+        )
+        if not reply.extents:
+            # Nothing committed in the range (hole or uncommitted data
+            # written elsewhere): reads as zeros without touching disk.
+            self.short_reads += 1
+            return False
+        events = [
+            self.blockdev.submit_read(e.volume_offset, e.length, file_id)
+            for e in reply.extents
+        ]
+        for event in events:
+            yield event
+        self.read_disk_hits += 1
+        for extent in reply.extents:
+            self.cache.fill(file_id, extent.file_offset, extent.length)
+        return True
+
+    def fsync(self, file_id: int) -> _t.Generator:
+        """Wait until every pending update of the file is durable."""
+        # fsync kicks writeback: plugged async writes of this file are
+        # dispatched immediately.
+        self.blockdev.expedite_file(file_id)
+        records = list(self._pending_records.get(file_id, ()))
+        for record in records:
+            # Data stability first (matters only in the unordered control
+            # mode; delayed commit implies it before the RPC is sent).
+            for event in record.data_events:
+                if event.callbacks is not None:
+                    yield event
+            if not record.committed_event.processed:
+                yield record.committed_event
+        return None
+
+    def close(self, file_id: int, sync: bool = False) -> _t.Generator:
+        if sync:
+            yield from self.fsync(file_id)
+        return None
+
+    def unlink(self, file_id: int) -> _t.Generator:
+        yield from self.fsync(file_id)  # no dangling commits for dead files
+        yield self.rpc.call("unlink", UnlinkPayload(file_id=file_id))
+        self.cache.drop_file(file_id)
+        return None
+
+    def stat(self, file_id: int) -> _t.Generator:
+        meta = yield self.rpc.call(
+            "getattr", GetattrPayload(file_id=file_id)
+        )
+        return meta
+
+    # ------------------------------------------------------------------
+    # Space acquisition
+    # ------------------------------------------------------------------
+
+    def _acquire_space(
+        self, file_id: int, offset: int, length: int, scattered: bool = False
+    ) -> _t.Generator:
+        """Return the new extents backing ``[offset, offset+length)``."""
+        if (
+            not scattered
+            and self.delegation is not None
+            and self.delegation.can_serve(length)
+        ):
+            volume_offset = yield from self._delegated_alloc(length)
+            extent = Extent(
+                file_offset=offset,
+                length=length,
+                device_id=self.device_id,
+                volume_offset=volume_offset,
+            )
+            self._maybe_background_refill()
+            return [extent]
+
+        reply = yield self.rpc.call(
+            "layout_get",
+            LayoutGetPayload(
+                file_id=file_id,
+                offset=offset,
+                length=length,
+                allocate=True,
+                scattered=scattered,
+                delegation_hint=(
+                    self.delegation is not None
+                    and self.delegation.needs_refill
+                    and self._refill_event is None
+                ),
+            ),
+        )
+        if reply.chunk is not None and self.delegation is not None:
+            self.delegation.refill(reply.chunk)
+        return [e for e in reply.extents if e.state == "new"] or reply.extents
+
+    def _delegated_alloc(self, length: int) -> _t.Generator:
+        """Allocate locally, fetching a fresh chunk if the pool ran dry."""
+        while True:
+            volume_offset = self.delegation.alloc(length)
+            if volume_offset is not None:
+                return volume_offset
+            yield self._start_refill()
+
+    def _start_refill(self) -> Event:
+        """Kick off (or join) an in-flight delegation RPC."""
+        if self._refill_event is not None:
+            return self._refill_event
+        done = Event(self.env)
+        self._refill_event = done
+
+        def refill_proc() -> _t.Generator:
+            chunk = yield self.rpc.call(
+                "delegate",
+                DelegationPayload(chunk_size=self.delegation.chunk_size),
+            )
+            self.delegation.refill(chunk)
+            self._refill_event = None
+            done.succeed()
+
+        self.env.process(refill_proc(), name=f"refill-{self.client_id}")
+        return done
+
+    def _maybe_background_refill(self) -> None:
+        """Proactively refresh the standby chunk without blocking."""
+        if (
+            self.delegation is not None
+            and self.delegation.needs_refill
+            and self._refill_event is None
+        ):
+            self._start_refill()
+
+    # ------------------------------------------------------------------
+    # Commit bookkeeping
+    # ------------------------------------------------------------------
+
+    def _data_write_done(
+        self, file_id: int, offset: int, length: int
+    ) -> None:
+        self.cache.mark_clean(file_id, offset, length)
+        if self._dirty_waiters and (
+            self.cache.dirty_bytes < self.dirty_limit
+        ):
+            waiters, self._dirty_waiters = self._dirty_waiters, []
+            for waiter in waiters:
+                if not waiter.triggered:
+                    waiter.succeed()
+
+    def _on_record_committed(self, record: CommitRecord) -> None:
+        pending = self._pending_records.get(record.file_id)
+        if pending is not None:
+            pending.discard(record)
+            if not pending:
+                del self._pending_records[record.file_id]
+
+    def pending_commit_count(self) -> int:
+        return sum(len(s) for s in self._pending_records.values())
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def shutdown(self) -> _t.Generator:
+        """Graceful stop: flush commits, return unused delegated space."""
+        for file_id in list(self._pending_records):
+            yield from self.fsync(file_id)
+        if self.delegation is not None:
+            leftovers = self.delegation.drain()
+            if leftovers:
+                from repro.net.messages import ReleasePayload
+
+                yield self.rpc.call(
+                    "release", ReleasePayload(chunks=leftovers)
+                )
+        if self.thread_pool is not None:
+            self.thread_pool.stop()
+        return None
+
+    def crash(self) -> None:
+        """Power loss: all volatile state disappears instantly."""
+        self.crashed = True
+        self.cache.drop_volatile()
+        if self.commit_queue is not None:
+            self.commit_queue.drop_all()
+        if self.thread_pool is not None:
+            self.thread_pool.stop()
+        self._pending_records.clear()

@@ -1,0 +1,67 @@
+"""The file-system API contract shared by Redbud and the baselines.
+
+Workload generators (:mod:`repro.workloads`) are written against this
+interface only, so the same personality runs unchanged on Redbud in any
+commit mode, on the NFS3 baseline, and on the PVFS2 baseline -- which is
+what makes the Fig. 3 comparison meaningful.
+
+All methods are *generators* to be driven inside a simulation process::
+
+    file_id = yield from fs.create("mail/0001")
+    yield from fs.write(file_id, 0, 4096)
+    yield from fs.fsync(file_id)
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+
+class FileSystemAPI:
+    """Abstract file-system operations offered to applications."""
+
+    #: Whether the system's MPI-IO driver performs collective buffering
+    #: (aggregating strided parallel I/O into large contiguous requests).
+    #: PVFS2's ROMIO driver does; the POSIX-path systems do not -- the
+    #: asymmetry behind the paper's NPB result.
+    supports_collective_io = False
+
+    def create(self, name: str) -> _t.Generator:
+        """Create a file; returns its file id."""
+        raise NotImplementedError
+
+    def write(
+        self,
+        file_id: int,
+        offset: int,
+        length: int,
+        scattered: bool = False,
+    ) -> _t.Generator:
+        """Write ``length`` bytes at ``offset`` (an *update* operation).
+
+        ``scattered`` asks the system to place the data at an arbitrary
+        (aged-namespace) position instead of the allocation frontier;
+        workload *setup* uses it so seeded corpora physically spread over
+        the volume the way years-old real namespaces do.
+        """
+        raise NotImplementedError
+
+    def read(self, file_id: int, offset: int, length: int) -> _t.Generator:
+        """Read ``length`` bytes at ``offset``."""
+        raise NotImplementedError
+
+    def fsync(self, file_id: int) -> _t.Generator:
+        """Block until the file's data and metadata are durable."""
+        raise NotImplementedError
+
+    def close(self, file_id: int, sync: bool = False) -> _t.Generator:
+        """Close the file; with ``sync`` behaves like fsync-then-close."""
+        raise NotImplementedError
+
+    def unlink(self, file_id: int) -> _t.Generator:
+        """Delete the file."""
+        raise NotImplementedError
+
+    def stat(self, file_id: int) -> _t.Generator:
+        """Fetch the file's metadata."""
+        raise NotImplementedError

@@ -1,0 +1,34 @@
+"""Ordered-writes semantics: invariant checking, crashes, recovery.
+
+The whole point of ordered writes (§I, §III) is this invariant: *metadata
+at the MDS never references data that is not stable on disk*.  Violating
+it leaves the file system describing "invalid or not available data".
+The weaker direction -- data on disk without metadata ("orphan" data) --
+is acceptable and reclaimed by garbage collection.
+
+- :mod:`repro.consistency.invariant` -- the checker for both directions.
+- :mod:`repro.consistency.crash` -- whole-cluster power-loss injection.
+- :mod:`repro.consistency.recovery` -- post-crash scan + orphan GC.
+"""
+
+from repro.consistency.crash import CrashState, crash_cluster
+from repro.consistency.fsck import FsckReport, fsck, rebuild_free_space
+from repro.consistency.invariant import (
+    ConsistencyReport,
+    Violation,
+    check_ordered_writes,
+)
+from repro.consistency.recovery import RecoveryReport, recover
+
+__all__ = [
+    "ConsistencyReport",
+    "CrashState",
+    "FsckReport",
+    "RecoveryReport",
+    "Violation",
+    "check_ordered_writes",
+    "crash_cluster",
+    "fsck",
+    "rebuild_free_space",
+    "recover",
+]

@@ -1,0 +1,35 @@
+"""The paper's contribution: the Delayed Commit Protocol.
+
+This package implements §III and §IV of the paper:
+
+- :mod:`repro.core.records` / :mod:`repro.core.commit_queue` -- the commit
+  queue into which update requests deposit their remote-commit work, with
+  per-file deduplication ("one commit request is enough to commit the
+  metadata of each file").
+- :mod:`repro.core.daemon` -- background commit daemons that check out
+  local-I/O-completed records and send compound commit RPCs.
+- :mod:`repro.core.thread_pool` -- the adaptive commit thread pool,
+  ``ThreadNums = rho * QueueLen`` (§IV.B).
+- :mod:`repro.core.compound` -- the adaptive RPC compound-degree
+  controller (§IV.B).
+- :mod:`repro.core.delegation` -- the client-side double-space-pool for
+  space delegation (§IV.A).
+- :mod:`repro.core.protocol` -- the synchronous and delayed write-path
+  step sequences of §III.A.
+"""
+
+from repro.core.commit_queue import CommitQueue
+from repro.core.compound import CompoundController
+from repro.core.daemon import CommitDaemonContext
+from repro.core.delegation import DoubleSpacePool
+from repro.core.records import CommitRecord
+from repro.core.thread_pool import AdaptiveCommitThreadPool
+
+__all__ = [
+    "AdaptiveCommitThreadPool",
+    "CommitDaemonContext",
+    "CommitQueue",
+    "CommitRecord",
+    "CompoundController",
+    "DoubleSpacePool",
+]

@@ -1,0 +1,179 @@
+"""The commit queue (§III.A).
+
+"Issued commit requests are inserted into the commit queue if no commit
+request of this file resides in" -- insertion deduplicates per file by
+merging into the resident record.  Background daemons *check out* records
+whose local data writes have completed (the ordered-writes gate) and send
+their metadata to the MDS.
+
+The queue also provides:
+
+- **backpressure**: a capacity bound models the finite memory available
+  for pending commits; applications block on :meth:`wait_for_room` when
+  the queue is full (this keeps delayed commit stable under overload);
+- **observability**: a length-change listener feeds the adaptive
+  thread-pool controller and the Fig. 6 time series.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.core.records import CommitRecord
+from repro.mds.extent import Extent
+from repro.sim.events import Event
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Environment
+
+
+class CommitQueue:
+    """FIFO of per-file commit records with dedup and stable-checkout."""
+
+    def __init__(
+        self, env: "Environment", capacity: int = 4096
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self._records: _t.List[CommitRecord] = []
+        self._by_file: _t.Dict[int, CommitRecord] = {}
+        self._waiting_gets: _t.List[Event] = []
+        self._waiting_room: _t.List[Event] = []
+        #: Called with the new length after every insert/checkout.
+        self.on_length_change: _t.Optional[_t.Callable[[int], None]] = None
+        self.inserts = 0
+        self.dedup_hits = 0
+        self.checkouts = 0
+        self.peak_length = 0
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    # -- insertion (application side) ------------------------------------------
+
+    def insert(
+        self,
+        file_id: int,
+        extents: _t.List[Extent],
+        data_events: _t.List[Event],
+        require_data_stable: bool = True,
+    ) -> CommitRecord:
+        """Insert a commit request, deduplicating per file.
+
+        Returns the (new or resident) record for the file.  The caller
+        should have checked :meth:`has_room` / yielded
+        :meth:`wait_for_room` first; inserting over capacity is allowed
+        (a single in-flight op per thread may overshoot slightly).
+        """
+        self.inserts += 1
+        resident = self._by_file.get(file_id)
+        if resident is not None and not resident.checked_out:
+            resident.absorb(extents, data_events)
+            self.dedup_hits += 1
+            self._notify_stability(resident, data_events)
+            return resident
+
+        record = CommitRecord(
+            self.env,
+            file_id,
+            extents,
+            data_events,
+            require_data_stable=require_data_stable,
+        )
+        self._records.append(record)
+        self._by_file[file_id] = record
+        self.peak_length = max(self.peak_length, len(self._records))
+        self._notify_stability(record, data_events)
+        self._changed()
+        return record
+
+    def _notify_stability(
+        self, record: CommitRecord, data_events: _t.List[Event]
+    ) -> None:
+        """Wake sleeping daemons once a record's data becomes stable."""
+        for ev in data_events:
+            if ev.callbacks is not None:
+                ev.callbacks.append(lambda _ev: self._wake_getters())
+        if record.data_stable:
+            self._wake_getters()
+
+    # -- checkout (daemon side) -----------------------------------------------
+
+    def checkout_stable(self, limit: int = 1) -> _t.List[CommitRecord]:
+        """Remove and return up to ``limit`` data-stable records (FIFO)."""
+        if limit <= 0:
+            raise ValueError(f"limit must be positive, got {limit}")
+        batch: _t.List[CommitRecord] = []
+        remaining: _t.List[CommitRecord] = []
+        for record in self._records:
+            if len(batch) < limit and record.data_stable:
+                record.checked_out = True
+                del self._by_file[record.file_id]
+                batch.append(record)
+            else:
+                remaining.append(record)
+        if batch:
+            self._records = remaining
+            self.checkouts += len(batch)
+            self._changed()
+            self._wake_room_waiters()
+        return batch
+
+    def wait_for_stable(self) -> Event:
+        """Event firing when at least one data-stable record is present."""
+        ev = Event(self.env)
+        if any(r.data_stable for r in self._records):
+            ev.succeed()
+        else:
+            self._waiting_gets.append(ev)
+        return ev
+
+    def _wake_getters(self) -> None:
+        if not self._waiting_gets:
+            return
+        if any(r.data_stable for r in self._records):
+            waiters, self._waiting_gets = self._waiting_gets, []
+            for ev in waiters:
+                if not ev.triggered:
+                    ev.succeed()
+
+    # -- backpressure ----------------------------------------------------------
+
+    def has_room(self) -> bool:
+        return len(self._records) < self.capacity
+
+    def wait_for_room(self) -> Event:
+        """Event firing when the queue is below capacity."""
+        ev = Event(self.env)
+        if self.has_room():
+            ev.succeed()
+        else:
+            self._waiting_room.append(ev)
+        return ev
+
+    def _wake_room_waiters(self) -> None:
+        while self._waiting_room and self.has_room():
+            ev = self._waiting_room.pop(0)
+            if not ev.triggered:
+                ev.succeed()
+
+    # -- introspection -----------------------------------------------------------
+
+    def record_for(self, file_id: int) -> _t.Optional[CommitRecord]:
+        return self._by_file.get(file_id)
+
+    def pending_records(self) -> _t.Sequence[CommitRecord]:
+        return tuple(self._records)
+
+    def drop_all(self) -> _t.List[CommitRecord]:
+        """Crash: volatile queue contents are lost; returns what was lost."""
+        lost, self._records = self._records, []
+        self._by_file.clear()
+        self._changed()
+        return lost
+
+    def _changed(self) -> None:
+        if self.on_length_change is not None:
+            self.on_length_change(len(self._records))

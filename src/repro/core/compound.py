@@ -1,0 +1,114 @@
+"""Adaptive RPC compound-degree control (§IV.B).
+
+"The compound degree changes periodically with the knowledge of the
+network traffic in the cluster and the workload on the MDS.  The compound
+degree increases as the network is congested or the MDS is busy enough,
+so as to reduce the RPC requests."
+
+A client cannot read the MDS's queue directly; like real systems it infers
+load from what it can observe: its own uplink backlog (local NIC queue)
+and the round-trip latency of recent commit RPCs (an EWMA compared
+against the uncongested baseline).  The controller re-evaluates every
+``period`` seconds and moves the degree one step at a time within
+``[1, max_degree]``.
+
+A ``fixed_degree`` short-circuits adaptation -- used by the Fig. 7 sweep,
+which compares fixed degrees 1 / 3 / 6.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+from dataclasses import dataclass
+
+from repro.net.link import Link
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Environment
+
+
+@dataclass(frozen=True)
+class CompoundPolicy:
+    """Tunables for the adaptive compound controller."""
+
+    max_degree: int = 8
+    period: float = 0.25
+    #: Uplink backlog (seconds of queued serialisation) deemed congested.
+    backlog_high: float = 0.0005
+    #: RPC latency ratio over baseline deemed "MDS busy".
+    latency_ratio_high: float = 2.0
+    #: Ratio below which the controller relaxes the degree.
+    latency_ratio_low: float = 1.3
+    #: EWMA smoothing for observed RPC latency.
+    ewma_alpha: float = 0.2
+
+
+class CompoundController:
+    """Chooses how many commit ops ride in one RPC."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        uplink: Link,
+        policy: CompoundPolicy = CompoundPolicy(),
+        fixed_degree: _t.Optional[int] = None,
+    ) -> None:
+        if fixed_degree is not None and fixed_degree <= 0:
+            raise ValueError(f"fixed_degree must be positive: {fixed_degree}")
+        self.env = env
+        self.uplink = uplink
+        self.policy = policy
+        self.fixed_degree = fixed_degree
+        self._degree = fixed_degree if fixed_degree is not None else 1
+        self._latency_ewma: _t.Optional[float] = None
+        self._latency_baseline: _t.Optional[float] = None
+        self.adjustments = 0
+        #: (time, degree) history for diagnostics.
+        self.history: _t.List[_t.Tuple[float, int]] = []
+        if fixed_degree is None:
+            env.process(self._control_loop(), name="compound-controller")
+
+    @property
+    def degree(self) -> int:
+        """Current compound degree (ops per commit RPC)."""
+        return self._degree
+
+    def observe_rpc_latency(self, latency: float) -> None:
+        """Feed one commit RPC round-trip time into the load estimate."""
+        if latency < 0:
+            raise ValueError(f"negative latency {latency}")
+        if self._latency_ewma is None:
+            self._latency_ewma = latency
+            self._latency_baseline = latency
+        else:
+            a = self.policy.ewma_alpha
+            self._latency_ewma = (1 - a) * self._latency_ewma + a * latency
+            # The baseline tracks the smallest smoothed latency seen.
+            self._latency_baseline = min(
+                self._latency_baseline, self._latency_ewma
+            )
+
+    def _latency_ratio(self) -> float:
+        if not self._latency_ewma or not self._latency_baseline:
+            return 1.0
+        return self._latency_ewma / self._latency_baseline
+
+    def _control_loop(self) -> _t.Generator:
+        while True:
+            yield self.env.timeout(self.policy.period)
+            old = self._degree
+            congested = (
+                self.uplink.backlog > self.policy.backlog_high
+                or self._latency_ratio() > self.policy.latency_ratio_high
+            )
+            relaxed = (
+                self.uplink.backlog == 0.0
+                and self._latency_ratio() < self.policy.latency_ratio_low
+            )
+            if congested and self._degree < self.policy.max_degree:
+                self._degree += 1
+            elif relaxed and self._degree > 1:
+                self._degree -= 1
+            if self._degree != old:
+                self.adjustments += 1
+                self.history.append((self.env.now, self._degree))

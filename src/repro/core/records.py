@@ -1,0 +1,90 @@
+"""Commit records: the unit of work in the commit queue.
+
+A record accumulates, per file, the extents whose metadata must be pushed
+to the MDS and the completion events of the local data writes backing
+them.  The ordered-writes rule of §III is encoded in
+:attr:`CommitRecord.data_stable`: the record may be *checked out* (its
+commit RPC constructed and sent) only once every backing data write has
+completed.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.mds.extent import Extent
+from repro.sim.events import Event
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Environment
+
+
+class CommitRecord:
+    """Pending metadata commit for one file.
+
+    Commit requests of the same file share the in-memory metadata
+    structure, so one record per file suffices (§III.A); subsequent
+    updates to the same file *merge into* the existing record via
+    :meth:`absorb`.
+    """
+
+    __slots__ = (
+        "env",
+        "file_id",
+        "extents",
+        "data_events",
+        "enqueue_time",
+        "committed_event",
+        "checked_out",
+        "require_data_stable",
+    )
+
+    def __init__(
+        self,
+        env: "Environment",
+        file_id: int,
+        extents: _t.List[Extent],
+        data_events: _t.List[Event],
+        require_data_stable: bool = True,
+    ) -> None:
+        self.env = env
+        self.file_id = file_id
+        self.extents = list(extents)
+        self.data_events = list(data_events)
+        self.enqueue_time = env.now
+        #: Fires once the MDS has applied this record's commit.
+        self.committed_event = Event(env)
+        self.checked_out = False
+        #: False only in the deliberately-broken "unordered" control mode.
+        self.require_data_stable = require_data_stable
+
+    @property
+    def data_stable(self) -> bool:
+        """True when every backing data write has hit the disk."""
+        if not self.require_data_stable:
+            return True
+        return all(ev.processed for ev in self.data_events)
+
+    @property
+    def committed(self) -> bool:
+        return self.committed_event.triggered
+
+    def absorb(
+        self, extents: _t.List[Extent], data_events: _t.List[Event]
+    ) -> None:
+        """Fold another update of the same file into this record."""
+        if self.checked_out:
+            raise RuntimeError(
+                f"record for file {self.file_id} already checked out"
+            )
+        self.extents.extend(extents)
+        self.data_events.extend(data_events)
+
+    def age(self) -> float:
+        return self.env.now - self.enqueue_time
+
+    def __repr__(self) -> str:
+        return (
+            f"<CommitRecord file={self.file_id} extents={len(self.extents)} "
+            f"stable={self.data_stable} committed={self.committed}>"
+        )

@@ -1,0 +1,157 @@
+"""Shared run harness for every cluster assembly.
+
+All three systems (Redbud, NFS3, PVFS2) expose the same surface to the
+benchmark harness: build from a :class:`~repro.fs.config.ClusterConfig`,
+then :meth:`BaseCluster.run_workload` a personality for a fixed virtual
+duration.  The harness handles the setup phase (excluded from metrics),
+the warmup boundary, per-client thread spawning, and result assembly.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+from dataclasses import dataclass, field
+
+from repro.analysis.metrics import LatencyStats, OpMetrics
+from repro.client.filesystem import FileSystemAPI
+from repro.sim import Environment, StreamRNG
+from repro.workloads.spec import Workload, WorkloadContext
+
+
+@dataclass
+class RunResult:
+    """Everything measured in one workload run."""
+
+    system: str
+    workload: str
+    duration: float
+    metrics: OpMetrics
+    #: System-specific extras (merge stats, pool samples, link stats...).
+    extras: _t.Dict[str, _t.Any] = field(default_factory=dict)
+
+    @property
+    def ops_completed(self) -> int:
+        return self.metrics.total_ops
+
+    @property
+    def ops_per_second(self) -> float:
+        return self.metrics.total_ops / self.duration
+
+    @property
+    def bytes_per_second(self) -> float:
+        return self.metrics.total_bytes / self.duration
+
+    def latency(self, op: _t.Optional[str] = None) -> LatencyStats:
+        return self.metrics.latency(op)
+
+    def speedup_over(self, baseline: "RunResult") -> float:
+        """ops/s ratio against another run (Fig. 3's normalisation)."""
+        if baseline.ops_per_second == 0:
+            raise ZeroDivisionError("baseline completed no operations")
+        return self.ops_per_second / baseline.ops_per_second
+
+
+class BaseCluster:
+    """Common machinery: thread spawning, measurement windows, results."""
+
+    system_name = "base"
+
+    def __init__(self, env: Environment, seed: int = 0) -> None:
+        self.env = env
+        self.root_rng = StreamRNG(seed)
+
+    # -- subclass surface ------------------------------------------------------
+
+    def client_fs(self, index: int) -> FileSystemAPI:
+        """The file-system endpoint workloads drive on client ``index``."""
+        raise NotImplementedError
+
+    @property
+    def num_clients(self) -> int:
+        raise NotImplementedError
+
+    def collect_extras(self) -> _t.Dict[str, _t.Any]:
+        """System-specific stats folded into the RunResult."""
+        return {}
+
+    def apply_cache_recommendation(self, capacity: int) -> None:
+        """Scale cache capacities to the workload's namespace size.
+
+        The simulated namespaces are scaled down from the paper's (a few
+        hundred files instead of tens of thousands), so cache capacities
+        must scale down too or every system becomes an all-RAM file
+        system and the disk never matters.  Each personality recommends
+        a per-client capacity; subclasses apply it to their caches.
+        """
+
+    # -- the run harness ----------------------------------------------------------
+
+    def run_workload(
+        self,
+        workload: Workload,
+        duration: float = 5.0,
+        warmup: float = 0.25,
+    ) -> RunResult:
+        """Set up, warm up, measure for ``duration`` virtual seconds."""
+        if duration <= 0:
+            raise ValueError(f"duration must be positive, got {duration}")
+        if workload.recommended_cache_capacity is not None:
+            self.apply_cache_recommendation(
+                workload.recommended_cache_capacity
+            )
+        env = self.env
+        shared: _t.Dict[str, _t.Any] = {}
+        contexts = [
+            WorkloadContext(
+                env=env,
+                fs=self.client_fs(i),
+                rng=self.root_rng.stream("workload", i),
+                client_index=i,
+                num_clients=self.num_clients,
+                metrics=OpMetrics(),
+                shared=shared,
+            )
+            for i in range(self.num_clients)
+        ]
+
+        setups = [
+            env.process(
+                workload.setup(ctx), name=f"setup-{ctx.client_index}"
+            )
+            for ctx in contexts
+        ]
+        env.run(until=env.all_of(setups))
+        for ctx in contexts:
+            ctx.in_setup = False
+
+        measure_start = env.now + warmup
+        deadline = measure_start + duration
+
+        def thread_body(ctx: WorkloadContext, tid: int) -> _t.Generator:
+            while env.now < deadline:
+                yield from workload.op(ctx, tid)
+
+        def start_measuring() -> _t.Generator:
+            yield env.timeout(warmup)
+            for ctx in contexts:
+                ctx.measuring = True
+
+        env.process(start_measuring(), name="measure-gate")
+        for ctx in contexts:
+            for tid in range(workload.threads_per_client):
+                env.process(
+                    thread_body(ctx, tid),
+                    name=f"app-c{ctx.client_index}-t{tid}",
+                )
+        env.run(until=deadline)
+
+        metrics = OpMetrics()
+        for ctx in contexts:
+            metrics.merge_from(ctx.metrics)
+        return RunResult(
+            system=self.system_name,
+            workload=workload.name,
+            duration=duration,
+            metrics=metrics,
+            extras=self.collect_extras(),
+        )

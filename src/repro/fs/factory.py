@@ -1,0 +1,65 @@
+"""Factory: build any of the four Fig. 3 systems by name."""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.fs.base import BaseCluster
+from repro.fs.config import ClusterConfig
+from repro.fs.nfs3 import Nfs3Cluster
+from repro.fs.pvfs2 import Pvfs2Cluster
+from repro.fs.redbud import RedbudCluster
+
+#: The four systems compared in Fig. 3.
+SYSTEMS = (
+    "pvfs2",
+    "nfs3",
+    "redbud-original",
+    "redbud-delayed",
+)
+
+
+def build_cluster(
+    system: str,
+    num_clients: int = 7,
+    seed: int = 0,
+    **config_kw: _t.Any,
+) -> BaseCluster:
+    """Build a ready-to-run cluster for one of the Fig. 3 systems.
+
+    ``redbud-delayed`` enables both delayed commit and space delegation
+    (the full paper configuration); ``redbud-original`` is synchronous.
+    """
+    if system == "pvfs2":
+        return Pvfs2Cluster(
+            ClusterConfig(
+                num_clients=num_clients,
+                commit_mode="synchronous",
+                **config_kw,
+            ),
+            seed=seed,
+        )
+    if system == "nfs3":
+        return Nfs3Cluster(
+            ClusterConfig(
+                num_clients=num_clients,
+                commit_mode="synchronous",
+                **config_kw,
+            ),
+            seed=seed,
+        )
+    if system == "redbud-original":
+        return RedbudCluster(
+            ClusterConfig.original_redbud(
+                num_clients=num_clients, **config_kw
+            ),
+            seed=seed,
+        )
+    if system == "redbud-delayed":
+        return RedbudCluster(
+            ClusterConfig.space_delegation_config(
+                num_clients=num_clients, **config_kw
+            ),
+            seed=seed,
+        )
+    raise ValueError(f"unknown system {system!r}; pick from {SYSTEMS}")

@@ -1,0 +1,186 @@
+"""The Redbud cluster assembly (Fig. 2).
+
+One MDS, ``num_clients`` client nodes, a shared FC disk array.  Metadata
+RPCs cross per-client Ethernet links to the MDS; file data goes straight
+from each client's block queue to the array.  The three configurations
+the paper evaluates map to :class:`~repro.fs.config.ClusterConfig`
+factory methods: ``original_redbud`` (synchronous commit),
+``delayed_commit``, and ``space_delegation_config``.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.analysis.mergeratio import aggregate_merge_ratio
+from repro.analysis.timeseries import summarize_pool_samples
+from repro.client.client import RedbudClient
+from repro.core.delegation import DoubleSpacePool
+from repro.fs.base import BaseCluster, RunResult
+from repro.fs.config import ClusterConfig
+from repro.mds.allocation import SpaceManager
+from repro.mds.namespace import Namespace
+from repro.mds.server import MetadataServer
+from repro.net.link import Link
+from repro.net.rpc import RpcClient, RpcServerPort, RpcTransport
+from repro.sim import Environment
+from repro.storage.blockdev import BlockDevice
+from repro.storage.blktrace import BlkTrace
+from repro.storage.cache import PageCache
+from repro.storage.disk import DiskArray
+
+__all__ = ["RedbudCluster", "RunResult"]
+
+
+class RedbudCluster(BaseCluster):
+    """Redbud parallel file system on a simulated 8-node testbed."""
+
+    system_name = "redbud"
+
+    def __init__(self, config: ClusterConfig, seed: int = 0) -> None:
+        super().__init__(Environment(), seed=seed)
+        import dataclasses
+
+        # The MDS must hand out chunks of the configured size on the
+        # layout-get piggyback path too, not just on explicit requests.
+        if config.mds.delegation_chunk != config.delegation_chunk:
+            config = dataclasses.replace(
+                config,
+                mds=dataclasses.replace(
+                    config.mds, delegation_chunk=config.delegation_chunk
+                ),
+            )
+        self.config = config
+        env = self.env
+
+        self.blktrace = BlkTrace()
+        self.array = DiskArray(
+            env,
+            config.disk,
+            self.root_rng.stream("disk"),
+            trace=self.blktrace,
+        )
+        self.namespace = Namespace()
+        self.space = SpaceManager(
+            volume_size=config.disk.volume_size,
+            num_groups=config.num_allocation_groups,
+            strategy=config.ag_strategy,
+            rng=self.root_rng.stream("alloc"),
+        )
+        self.port = RpcServerPort(env)
+
+        downlinks: _t.Dict[int, Link] = {}
+        self.clients: _t.List[RedbudClient] = []
+        self.uplinks: _t.List[Link] = []
+        for cid in range(config.num_clients):
+            uplink = Link(
+                env,
+                bandwidth=config.link.bandwidth,
+                propagation=config.link.propagation,
+                per_message_overhead=config.link.per_message_overhead,
+                name=f"eth-up-{cid}",
+            )
+            downlink = Link(
+                env,
+                bandwidth=config.link.bandwidth,
+                propagation=config.link.propagation,
+                per_message_overhead=config.link.per_message_overhead,
+                name=f"eth-down-{cid}",
+            )
+            self.uplinks.append(uplink)
+            downlinks[cid] = downlink
+            rpc = RpcClient(
+                env, cid, RpcTransport(env, uplink, downlink, self.port)
+            )
+            delegation = (
+                DoubleSpacePool(chunk_size=config.delegation_chunk)
+                if config.space_delegation
+                else None
+            )
+            client = RedbudClient(
+                env,
+                cid,
+                rpc,
+                BlockDevice(env, cid, self.array),
+                cache=PageCache(capacity=config.client_cache_capacity),
+                commit_mode=config.commit_mode,
+                delegation=delegation,
+                commit_queue_capacity=config.commit_queue_capacity,
+                thread_pool_policy=config.thread_pool,
+                compound_policy=config.compound,
+                fixed_compound_degree=config.fixed_compound_degree,
+                dirty_limit=config.dirty_limit,
+            )
+            self.clients.append(client)
+
+        self.mds = MetadataServer(
+            env,
+            config.mds,
+            self.namespace,
+            self.space,
+            self.port,
+            downlinks,
+        )
+
+    # -- BaseCluster surface ------------------------------------------------------
+
+    @property
+    def num_clients(self) -> int:
+        return self.config.num_clients
+
+    def client_fs(self, index: int) -> RedbudClient:
+        return self.clients[index]
+
+    def collect_extras(self) -> _t.Dict[str, _t.Any]:
+        merge = aggregate_merge_ratio(
+            c.blockdev.scheduler for c in self.clients
+        )
+        extras: _t.Dict[str, _t.Any] = {
+            "merge_stats": merge,
+            "merge_ratio": merge.merge_ratio,
+            "seek_analysis": self.blktrace.analyze(),
+            "array_utilization": self.array.utilization,
+            "mds_requests": self.mds.requests_processed,
+            "mds_ops": self.mds.ops_processed,
+            "rpc_messages": sum(link.stats.messages for link in self.uplinks),
+            "cache_hits": sum(c.cache.hits for c in self.clients),
+            "cache_misses": sum(c.cache.misses for c in self.clients),
+        }
+        if self.config.commit_mode in ("delayed", "unordered"):
+            extras["pool_samples"] = [
+                c.thread_pool.samples for c in self.clients
+            ]
+            extras["pool_summaries"] = [
+                summarize_pool_samples(
+                    c.thread_pool.samples,
+                    self.config.thread_pool.max_threads,
+                )
+                for c in self.clients
+            ]
+            extras["mean_compound_degree"] = _mean(
+                c.daemon_ctx.stats.mean_degree
+                for c in self.clients
+                if c.daemon_ctx.stats.rpcs_sent > 0
+            )
+            extras["commit_rpcs"] = sum(
+                c.daemon_ctx.stats.rpcs_sent for c in self.clients
+            )
+            extras["ops_committed"] = sum(
+                c.daemon_ctx.stats.ops_committed for c in self.clients
+            )
+        return extras
+
+    # -- convenience for experiments ------------------------------------------------
+
+    def apply_cache_recommendation(self, capacity: int) -> None:
+        for client in self.clients:
+            client.cache.capacity = capacity
+
+    def settle(self, grace: float = 2.0) -> None:
+        """Let in-flight background work land (before crash/consistency)."""
+        self.env.run(until=self.env.now + grace)
+
+
+def _mean(values: _t.Iterable[float]) -> float:
+    items = list(values)
+    return sum(items) / len(items) if items else 0.0

@@ -1,0 +1,384 @@
+"""An order-configurable B+ tree.
+
+Each allocation group owns one of these, keyed by volume offset, to
+allocate and deallocate physical space (paper §V.A: "Each AG has its own
+B+ tree to allocate and deallocate physical space").  The namespace also
+uses it for large extent maps.
+
+The implementation is a textbook B+ tree: internal nodes route by
+separator keys, leaves hold (key, value) pairs and are linked for ordered
+scans.  Deletion rebalances by borrowing from or merging with siblings.
+
+Only the operations the file system needs are exposed:
+
+- exact ``get`` / ``insert`` / ``delete``;
+- ``floor_item`` / ``ceiling_item`` (nearest-key lookups used for
+  free-extent coalescing and next-fit allocation);
+- ordered iteration, optionally bounded.
+"""
+
+from __future__ import annotations
+
+import bisect
+import typing as _t
+
+K = _t.TypeVar("K")
+V = _t.TypeVar("V")
+
+
+class _Node:
+    __slots__ = ("keys", "children", "values", "next_leaf", "is_leaf")
+
+    def __init__(self, is_leaf: bool) -> None:
+        self.is_leaf = is_leaf
+        self.keys: _t.List[_t.Any] = []
+        self.children: _t.List["_Node"] = []  # internal only
+        self.values: _t.List[_t.Any] = []  # leaf only
+        self.next_leaf: _t.Optional["_Node"] = None  # leaf only
+
+
+class BPlusTree(_t.Generic[K, V]):
+    """B+ tree mapping totally ordered keys to values.
+
+    Parameters
+    ----------
+    order:
+        Maximum number of children of an internal node (>= 3).  Leaves
+        hold at most ``order - 1`` pairs.
+    """
+
+    def __init__(self, order: int = 32) -> None:
+        if order < 3:
+            raise ValueError(f"order must be >= 3, got {order}")
+        self._order = order
+        self._max_keys = order - 1
+        self._min_keys = (order + 1) // 2 - 1  # floor(ceil(order/2)) - 1
+        self._root: _Node = _Node(is_leaf=True)
+        self._size = 0
+
+    # -- basic queries ------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    def __contains__(self, key: K) -> bool:
+        return self.get(key, _MISSING) is not _MISSING
+
+    def get(self, key: K, default: _t.Any = None) -> _t.Any:
+        """Value for ``key`` or ``default``."""
+        leaf = self._find_leaf(key)
+        idx = bisect.bisect_left(leaf.keys, key)
+        if idx < len(leaf.keys) and leaf.keys[idx] == key:
+            return leaf.values[idx]
+        return default
+
+    def min_item(self) -> _t.Tuple[K, V]:
+        """Smallest (key, value); raises KeyError if empty."""
+        if not self._size:
+            raise KeyError("tree is empty")
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[0]
+        return node.keys[0], node.values[0]
+
+    def max_item(self) -> _t.Tuple[K, V]:
+        """Largest (key, value); raises KeyError if empty."""
+        if not self._size:
+            raise KeyError("tree is empty")
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[-1]
+        return node.keys[-1], node.values[-1]
+
+    def floor_item(self, key: K) -> _t.Optional[_t.Tuple[K, V]]:
+        """Largest (k, v) with k <= key, or None."""
+        leaf = self._find_leaf(key)
+        idx = bisect.bisect_right(leaf.keys, key) - 1
+        if idx >= 0:
+            return leaf.keys[idx], leaf.values[idx]
+        # Entirely before this leaf: the answer is the previous leaf's max,
+        # found by walking from the root (no prev pointers kept).
+        return self._max_below(key)
+
+    def _max_below(self, key: K) -> _t.Optional[_t.Tuple[K, V]]:
+        best: _t.Optional[_t.Tuple[K, V]] = None
+        node = self._root
+        while True:
+            if node.is_leaf:
+                idx = bisect.bisect_right(node.keys, key) - 1
+                if idx >= 0:
+                    cand = (node.keys[idx], node.values[idx])
+                    if best is None or cand[0] > best[0]:
+                        best = cand
+                return best
+            idx = bisect.bisect_right(node.keys, key)
+            # Any fully-smaller subtree's max is a candidate; remember the
+            # nearest one then descend toward key.
+            if idx > 0:
+                prev = node.children[idx - 1]
+                while not prev.is_leaf:
+                    prev = prev.children[-1]
+                if prev.keys:
+                    last = bisect.bisect_right(prev.keys, key) - 1
+                    if last >= 0:
+                        cand = (prev.keys[last], prev.values[last])
+                        if best is None or cand[0] > best[0]:
+                            best = cand
+            node = node.children[idx]
+
+    def ceiling_item(self, key: K) -> _t.Optional[_t.Tuple[K, V]]:
+        """Smallest (k, v) with k >= key, or None."""
+        leaf = self._find_leaf(key)
+        idx = bisect.bisect_left(leaf.keys, key)
+        if idx < len(leaf.keys):
+            return leaf.keys[idx], leaf.values[idx]
+        nxt = leaf.next_leaf
+        while nxt is not None:
+            if nxt.keys:
+                return nxt.keys[0], nxt.values[0]
+            nxt = nxt.next_leaf
+        return None
+
+    def items(
+        self, lo: _t.Optional[K] = None, hi: _t.Optional[K] = None
+    ) -> _t.Iterator[_t.Tuple[K, V]]:
+        """Ordered (key, value) pairs with lo <= key < hi."""
+        if not self._size:
+            return
+        if lo is None:
+            node = self._root
+            while not node.is_leaf:
+                node = node.children[0]
+            idx = 0
+        else:
+            node = self._find_leaf(lo)
+            idx = bisect.bisect_left(node.keys, lo)
+        while node is not None:
+            while idx < len(node.keys):
+                key = node.keys[idx]
+                if hi is not None and key >= hi:
+                    return
+                yield key, node.values[idx]
+                idx += 1
+            node = node.next_leaf
+            idx = 0
+
+    def keys(self) -> _t.Iterator[K]:
+        return (k for k, _ in self.items())
+
+    # -- insertion ---------------------------------------------------------
+
+    def insert(self, key: K, value: V) -> None:
+        """Insert or replace the value at ``key``."""
+        root = self._root
+        result = self._insert(root, key, value)
+        if result is not None:
+            sep, right = result
+            new_root = _Node(is_leaf=False)
+            new_root.keys = [sep]
+            new_root.children = [root, right]
+            self._root = new_root
+
+    def _insert(
+        self, node: _Node, key: K, value: V
+    ) -> _t.Optional[_t.Tuple[K, _Node]]:
+        if node.is_leaf:
+            idx = bisect.bisect_left(node.keys, key)
+            if idx < len(node.keys) and node.keys[idx] == key:
+                node.values[idx] = value  # replace
+                return None
+            node.keys.insert(idx, key)
+            node.values.insert(idx, value)
+            self._size += 1
+            if len(node.keys) > self._max_keys:
+                return self._split_leaf(node)
+            return None
+
+        idx = bisect.bisect_right(node.keys, key)
+        result = self._insert(node.children[idx], key, value)
+        if result is None:
+            return None
+        sep, right = result
+        node.keys.insert(idx, sep)
+        node.children.insert(idx + 1, right)
+        if len(node.keys) > self._max_keys:
+            return self._split_internal(node)
+        return None
+
+    def _split_leaf(self, node: _Node) -> _t.Tuple[K, _Node]:
+        mid = len(node.keys) // 2
+        right = _Node(is_leaf=True)
+        right.keys = node.keys[mid:]
+        right.values = node.values[mid:]
+        node.keys = node.keys[:mid]
+        node.values = node.values[:mid]
+        right.next_leaf = node.next_leaf
+        node.next_leaf = right
+        return right.keys[0], right
+
+    def _split_internal(self, node: _Node) -> _t.Tuple[K, _Node]:
+        mid = len(node.keys) // 2
+        sep = node.keys[mid]
+        right = _Node(is_leaf=False)
+        right.keys = node.keys[mid + 1 :]
+        right.children = node.children[mid + 1 :]
+        node.keys = node.keys[:mid]
+        node.children = node.children[: mid + 1]
+        return sep, right
+
+    # -- deletion -----------------------------------------------------------
+
+    def delete(self, key: K) -> V:
+        """Remove ``key`` and return its value; raises KeyError if absent."""
+        value = self._delete(self._root, key)
+        root = self._root
+        if not root.is_leaf and len(root.children) == 1:
+            self._root = root.children[0]
+        return value
+
+    def _delete(self, node: _Node, key: K) -> V:
+        if node.is_leaf:
+            idx = bisect.bisect_left(node.keys, key)
+            if idx >= len(node.keys) or node.keys[idx] != key:
+                raise KeyError(repr(key))
+            node.keys.pop(idx)
+            value = node.values.pop(idx)
+            self._size -= 1
+            return value
+
+        idx = bisect.bisect_right(node.keys, key)
+        value = self._delete(node.children[idx], key)
+        child = node.children[idx]
+        if self._underflow(child):
+            self._rebalance(node, idx)
+        return value
+
+    def _underflow(self, node: _Node) -> bool:
+        if node.is_leaf:
+            return len(node.keys) < max(1, self._min_keys)
+        return len(node.children) < max(2, self._min_keys + 1)
+
+    def _rebalance(self, parent: _Node, idx: int) -> None:
+        child = parent.children[idx]
+        left = parent.children[idx - 1] if idx > 0 else None
+        right = (
+            parent.children[idx + 1]
+            if idx + 1 < len(parent.children)
+            else None
+        )
+
+        if child.is_leaf:
+            if left is not None and len(left.keys) > max(1, self._min_keys):
+                child.keys.insert(0, left.keys.pop())
+                child.values.insert(0, left.values.pop())
+                parent.keys[idx - 1] = child.keys[0]
+                return
+            if right is not None and len(right.keys) > max(1, self._min_keys):
+                child.keys.append(right.keys.pop(0))
+                child.values.append(right.values.pop(0))
+                parent.keys[idx] = right.keys[0]
+                return
+            if left is not None:
+                left.keys.extend(child.keys)
+                left.values.extend(child.values)
+                left.next_leaf = child.next_leaf
+                parent.keys.pop(idx - 1)
+                parent.children.pop(idx)
+            elif right is not None:
+                child.keys.extend(right.keys)
+                child.values.extend(right.values)
+                child.next_leaf = right.next_leaf
+                parent.keys.pop(idx)
+                parent.children.pop(idx + 1)
+            return
+
+        min_children = max(2, self._min_keys + 1)
+        if left is not None and len(left.children) > min_children:
+            child.keys.insert(0, parent.keys[idx - 1])
+            parent.keys[idx - 1] = left.keys.pop()
+            child.children.insert(0, left.children.pop())
+            return
+        if right is not None and len(right.children) > min_children:
+            child.keys.append(parent.keys[idx])
+            parent.keys[idx] = right.keys.pop(0)
+            child.children.append(right.children.pop(0))
+            return
+        if left is not None:
+            left.keys.append(parent.keys.pop(idx - 1))
+            left.keys.extend(child.keys)
+            left.children.extend(child.children)
+            parent.children.pop(idx)
+        elif right is not None:
+            child.keys.append(parent.keys.pop(idx))
+            child.keys.extend(right.keys)
+            child.children.extend(right.children)
+            parent.children.pop(idx + 1)
+
+    # -- internals ------------------------------------------------------------
+
+    def _find_leaf(self, key: K) -> _Node:
+        node = self._root
+        while not node.is_leaf:
+            idx = bisect.bisect_right(node.keys, key)
+            node = node.children[idx]
+        return node
+
+    # -- diagnostics ------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Validate structural invariants (tests and recovery use this).
+
+        Raises ``AssertionError`` on any violation.
+        """
+        size = self._check_node(self._root, is_root=True, lo=None, hi=None)
+        assert size == self._size, f"size {self._size} != counted {size}"
+        # Leaf chain must be ordered and complete.
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[0]
+        prev_key = None
+        counted = 0
+        while node is not None:
+            for key in node.keys:
+                assert prev_key is None or prev_key < key, "leaf chain order"
+                prev_key = key
+                counted += 1
+            node = node.next_leaf
+        assert counted == self._size, "leaf chain size"
+
+    def _check_node(
+        self,
+        node: _Node,
+        is_root: bool,
+        lo: _t.Optional[K],
+        hi: _t.Optional[K],
+    ) -> int:
+        assert node.keys == sorted(node.keys), "keys sorted"
+        for key in node.keys:
+            assert lo is None or key >= lo, "key below subtree bound"
+            assert hi is None or key < hi, "key above subtree bound"
+        if node.is_leaf:
+            assert len(node.keys) == len(node.values)
+            if not is_root:
+                assert len(node.keys) >= max(1, self._min_keys), "leaf fill"
+            assert len(node.keys) <= self._max_keys, "leaf overflow"
+            return len(node.keys)
+        assert len(node.children) == len(node.keys) + 1
+        if not is_root:
+            assert len(node.children) >= max(2, self._min_keys + 1), (
+                "internal fill"
+            )
+        assert len(node.keys) <= self._max_keys, "internal overflow"
+        total = 0
+        bounds = [lo] + list(node.keys) + [hi]
+        for i, child in enumerate(node.children):
+            total += self._check_node(
+                child, is_root=False, lo=bounds[i], hi=bounds[i + 1]
+            )
+        return total
+
+
+_MISSING = object()

@@ -1,0 +1,228 @@
+"""The file namespace: inodes and committed extent maps.
+
+The namespace is the MDS-side source of truth.  An extent appears here
+only once its commit RPC has been applied -- which, under ordered writes,
+must happen only after the extent's data is stable on disk.  The
+consistency checker (:mod:`repro.consistency.invariant`) verifies exactly
+that relationship.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+from dataclasses import dataclass, field
+
+from repro.mds.extent import EXTENT_COMMITTED, Extent
+from repro.util.intervals import IntervalSet
+
+
+class FileNotFoundMdsError(KeyError):
+    """Lookup of a nonexistent file id or name."""
+
+
+class FileExistsMdsError(ValueError):
+    """Create of an already-existing name."""
+
+
+@dataclass
+class FileMeta:
+    """One file's metadata record."""
+
+    file_id: int
+    name: str
+    ctime: float
+    mtime: float
+    size: int = 0
+    #: Committed extents, kept sorted by file offset, non-overlapping.
+    extents: _t.List[Extent] = field(default_factory=list)
+
+    def committed_bytes(self) -> int:
+        return sum(e.length for e in self.extents)
+
+
+class Namespace:
+    """Flat file namespace (directories are out of the paper's scope)."""
+
+    def __init__(self) -> None:
+        self._files: _t.Dict[int, FileMeta] = {}
+        self._by_name: _t.Dict[str, int] = {}
+        self._next_id = 1
+        self.creates = 0
+        self.commits = 0
+        self.unlinks = 0
+
+    def __len__(self) -> int:
+        return len(self._files)
+
+    def __contains__(self, file_id: int) -> bool:
+        return file_id in self._files
+
+    # -- operations ---------------------------------------------------------
+
+    def create(self, name: str, now: float) -> FileMeta:
+        if name in self._by_name:
+            raise FileExistsMdsError(name)
+        meta = FileMeta(
+            file_id=self._next_id, name=name, ctime=now, mtime=now
+        )
+        self._next_id += 1
+        self._files[meta.file_id] = meta
+        self._by_name[name] = meta.file_id
+        self.creates += 1
+        return meta
+
+    def get(self, file_id: int) -> FileMeta:
+        meta = self._files.get(file_id)
+        if meta is None:
+            raise FileNotFoundMdsError(file_id)
+        return meta
+
+    def lookup(self, name: str) -> FileMeta:
+        file_id = self._by_name.get(name)
+        if file_id is None:
+            raise FileNotFoundMdsError(name)
+        return self._files[file_id]
+
+    def commit_extents(
+        self, file_id: int, extents: _t.Iterable[Extent], now: float
+    ) -> _t.List[_t.Tuple[int, int]]:
+        """Apply a metadata commit; returns displaced volume ranges.
+
+        New extents replace any committed extents they overlap in file
+        space (an overwrite); the volume ranges they displace are returned
+        so the space manager can free them.  An overwrite *in place*
+        (committing a mapping that is already present, e.g. rewriting
+        data through an existing layout) displaces itself -- such ranges
+        are still live and are excluded from the freed list.
+        """
+        meta = self.get(file_id)
+        extents = list(extents)
+        displaced = IntervalSet()
+        for extent in extents:
+            for offset, length in self._insert_extent(meta, extent):
+                displaced.add(offset, offset + length)
+        for extent in extents:
+            displaced.remove(extent.volume_offset, extent.volume_end)
+        meta.mtime = now
+        meta.size = max(
+            (e.file_end for e in meta.extents), default=meta.size
+        )
+        self.commits += 1
+        return [(start, end - start) for start, end in displaced]
+
+    def _insert_extent(
+        self, meta: FileMeta, new: Extent
+    ) -> _t.List[_t.Tuple[int, int]]:
+        freed: _t.List[_t.Tuple[int, int]] = []
+        kept: _t.List[Extent] = []
+        for old in meta.extents:
+            if old.file_end <= new.file_offset or old.file_offset >= new.file_end:
+                kept.append(old)
+                continue
+            # Overlap: trim `old` around `new`, freeing the displaced bytes.
+            overlap_lo = max(old.file_offset, new.file_offset)
+            overlap_hi = min(old.file_end, new.file_end)
+            freed.append(
+                (
+                    old.volume_offset + (overlap_lo - old.file_offset),
+                    overlap_hi - overlap_lo,
+                )
+            )
+            if old.file_offset < new.file_offset:
+                kept.append(
+                    Extent(
+                        file_offset=old.file_offset,
+                        length=new.file_offset - old.file_offset,
+                        device_id=old.device_id,
+                        volume_offset=old.volume_offset,
+                        state=EXTENT_COMMITTED,
+                    )
+                )
+            if old.file_end > new.file_end:
+                cut = new.file_end - old.file_offset
+                kept.append(
+                    Extent(
+                        file_offset=new.file_end,
+                        length=old.file_end - new.file_end,
+                        device_id=old.device_id,
+                        volume_offset=old.volume_offset + cut,
+                        state=EXTENT_COMMITTED,
+                    )
+                )
+        kept.append(new.committed())
+        kept.sort(key=lambda e: e.file_offset)
+        meta.extents = kept
+        return freed
+
+    def mapping_matches(self, file_id: int, extent: Extent) -> bool:
+        """Whether ``extent``'s mapping is already committed byte-for-byte.
+
+        True means a commit of this extent is an *in-place rewrite*: the
+        data was overwritten through the existing layout and no metadata
+        change is needed.
+        """
+        meta = self._files.get(file_id)
+        if meta is None:
+            return False
+        need = extent.file_offset
+        end = extent.file_end
+        for old in meta.extents:  # sorted by file offset
+            if old.file_end <= need:
+                continue
+            if old.file_offset > need:
+                return False  # hole in the committed mapping
+            # `old` covers file offset `need`; the volume must agree.
+            if old.volume_offset + (need - old.file_offset) != (
+                extent.volume_offset + (need - extent.file_offset)
+            ):
+                return False
+            need = min(old.file_end, end)
+            if need >= end:
+                return True
+        return False
+
+    def layout(
+        self, file_id: int, offset: int, length: int
+    ) -> _t.List[Extent]:
+        """Committed extents intersecting ``[offset, offset+length)``."""
+        meta = self.get(file_id)
+        end = offset + length
+        return [
+            e
+            for e in meta.extents
+            if e.file_offset < end and e.file_end > offset
+        ]
+
+    def unlink(self, file_id: int) -> _t.List[_t.Tuple[int, int]]:
+        """Remove a file; returns its volume ranges for freeing."""
+        meta = self.get(file_id)
+        del self._files[file_id]
+        del self._by_name[meta.name]
+        self.unlinks += 1
+        return [(e.volume_offset, e.length) for e in meta.extents]
+
+    # -- whole-tree introspection (checker / recovery) ----------------------
+
+    def all_files(self) -> _t.Iterator[FileMeta]:
+        return iter(self._files.values())
+
+    def all_committed_ranges(self) -> _t.Iterator[_t.Tuple[int, int]]:
+        """(volume offset, length) of every committed extent."""
+        for meta in self._files.values():
+            for extent in meta.extents:
+                yield extent.volume_offset, extent.length
+
+    def check_invariants(self) -> None:
+        for meta in self._files.values():
+            prev_end = -1
+            for extent in meta.extents:
+                assert extent.state == EXTENT_COMMITTED, (
+                    f"uncommitted extent in namespace: {extent}"
+                )
+                assert extent.file_offset >= prev_end, (
+                    f"overlapping extents in file {meta.file_id}"
+                )
+                prev_end = extent.file_end
+            assert meta.size >= (
+                meta.extents[-1].file_end if meta.extents else 0
+            )

@@ -1,0 +1,324 @@
+"""The metadata server's RPC service model.
+
+The MDS runs a configurable number of **server daemon threads** (the
+x-axis of Fig. 7).  Each daemon loops: take a request from the shared
+inbox, spend CPU parsing and processing it, apply the state change under
+the namespace lock, and send the reply.
+
+Two costs shape Fig. 7:
+
+- *per-message overhead* (parse, dispatch, reply construction) is paid
+  once per RPC regardless of how many operations it carries -- this is
+  what compound RPCs amortise;
+- *multi-thread contention*: the apply phase serialises on a namespace
+  lock, and every daemon's CPU phases slow slightly as more daemons run
+  concurrently (cache-line and lock-handoff costs).  This produces the
+  paper's observation that 16 daemons perform slightly *worse* than 8.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+from dataclasses import dataclass
+
+from repro.mds.allocation import SpaceManager
+from repro.mds.extent import Chunk, Extent
+from repro.mds.namespace import Namespace
+from repro.net.link import Link
+from repro.net.messages import (
+    CommitPayload,
+    CreatePayload,
+    DelegationPayload,
+    GetattrPayload,
+    LayoutGetPayload,
+    ReleasePayload,
+    RpcMessage,
+    UnlinkPayload,
+)
+from repro.net.rpc import RpcServerPort
+from repro.sim.resources import Resource
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Environment
+
+
+@dataclass(frozen=True)
+class MdsParameters:
+    """CPU-cost model of the metadata server."""
+
+    #: Number of server daemon threads (Fig. 7 sweeps 1 / 8 / 16).
+    num_daemons: int = 8
+    #: Per-message parse/dispatch/reply CPU, seconds.  Message framing
+    #: dominates op processing -- which is what makes compounding pay.
+    svc_message: float = 110e-6
+    #: Per-operation processing CPU (lookup, B+ tree work), seconds.
+    svc_op: float = 50e-6
+    #: Per-operation critical-section (apply) CPU, seconds.
+    svc_apply: float = 20e-6
+    #: Fractional slowdown of CPU phases per additional *active* daemon
+    #: (lock handoffs).
+    contention_factor: float = 0.035
+    #: Fractional slowdown per provisioned daemon beyond the first
+    #: (cache pressure, scheduler overhead) -- why 16 daemons end up
+    #: slightly worse than 8 in Fig. 7.
+    pool_overhead: float = 0.006
+    #: Size of a delegated space chunk (§V.D uses 16 MB).
+    delegation_chunk: int = 16 * 1024 * 1024
+    #: Online orphan GC: reclaim a silent client's uncommitted space
+    #: after this many seconds without an RPC from it.  ``None`` (the
+    #: default here) disables the collector; cluster configurations turn
+    #: it on.  Recovery-time GC works either way.
+    lease_duration: _t.Optional[float] = None
+    #: Lease-GC scan interval, seconds.
+    gc_scan_interval: float = 5.0
+
+
+@dataclass
+class LayoutReply:
+    """Reply to a layout-get: mapped extents plus optional delegation."""
+
+    extents: _t.List[Extent]
+    chunk: _t.Optional[Chunk] = None
+
+
+class MetadataServer:
+    """The Redbud MDS: namespace + space manager behind an RPC port."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        params: MdsParameters,
+        namespace: Namespace,
+        space: SpaceManager,
+        port: RpcServerPort,
+        downlinks: _t.Dict[int, Link],
+    ) -> None:
+        self.env = env
+        self.params = params
+        self.namespace = namespace
+        self.space = space
+        self.port = port
+        self.downlinks = downlinks
+        self._lock = Resource(env, capacity=1)
+        self._active = 0
+        self.requests_processed = 0
+        self.ops_processed = 0
+        self.stale_commits = 0
+        self.busy_time = 0.0
+        from repro.mds.lease_gc import LeaseGarbageCollector
+
+        self.gc: _t.Optional[LeaseGarbageCollector] = None
+        if params.lease_duration is not None:
+            self.gc = LeaseGarbageCollector(
+                env,
+                space,
+                lease_duration=params.lease_duration,
+                scan_interval=params.gc_scan_interval,
+            )
+        self._daemons = [
+            env.process(self._daemon_loop(i), name=f"mds-daemon-{i}")
+            for i in range(params.num_daemons)
+        ]
+
+    # -- daemon loop ---------------------------------------------------------
+
+    def _daemon_loop(self, daemon_id: int) -> _t.Generator:
+        while True:
+            message: RpcMessage = yield self.port.next_request()
+            self._active += 1
+            start = self.env.now
+            if self.gc is not None:
+                self.gc.renew(message.client_id)
+
+            ops = message.op_count()
+            scale = self._contention_scale()
+            # Parse + per-op processing (parallel across daemons).
+            yield self.env.timeout(
+                (self.params.svc_message + ops * self.params.svc_op) * scale
+            )
+            # Apply under the namespace lock (serialised).
+            with self._lock.request() as req:
+                yield req
+                yield self.env.timeout(
+                    ops * self.params.svc_apply * self._contention_scale()
+                )
+                result = self._apply(message)
+
+            self._active -= 1
+            self.requests_processed += 1
+            self.ops_processed += ops
+            self.busy_time += self.env.now - start
+            downlink = self.downlinks[message.client_id]
+            self.port.reply(message, result, downlink)
+
+    def _contention_scale(self) -> float:
+        extra_active = max(0, self._active - 1)
+        extra_pool = max(0, self.params.num_daemons - 1)
+        return (
+            1.0
+            + self.params.contention_factor * extra_active
+            + self.params.pool_overhead * extra_pool
+        )
+
+    # -- operation semantics -------------------------------------------------
+
+    def _apply(self, message: RpcMessage) -> _t.Any:
+        payload = message.payload
+        now = self.env.now
+        if isinstance(payload, CreatePayload):
+            return self.namespace.create(payload.name, now)
+        if isinstance(payload, GetattrPayload):
+            if payload.file_id not in self.namespace:
+                return None  # stat of a just-deleted file
+            return self.namespace.get(payload.file_id)
+        if isinstance(payload, LayoutGetPayload):
+            if payload.file_id not in self.namespace:
+                return LayoutReply(extents=[])  # raced an unlink
+            return self._layout_get(message.client_id, payload)
+        if isinstance(payload, CommitPayload):
+            return self._commit(payload, message.client_id)
+        if isinstance(payload, DelegationPayload):
+            return self.space.alloc_chunk(
+                payload.chunk_size, client_id=message.client_id
+            )
+        if isinstance(payload, ReleasePayload):
+            for offset, length in payload.chunks:
+                self.space.release_uncommitted(
+                    message.client_id, offset, length
+                )
+            return None
+        if isinstance(payload, UnlinkPayload):
+            if payload.file_id not in self.namespace:
+                return None  # double unlink race
+            for offset, length in self.namespace.unlink(payload.file_id):
+                self.space.note_committed(offset, length)
+                self.space.free(offset, length)
+            return None
+        raise TypeError(f"unknown payload {payload!r}")
+
+    def _layout_get(
+        self, client_id: int, payload: LayoutGetPayload
+    ) -> LayoutReply:
+        extents = self.namespace.layout(
+            payload.file_id, payload.offset, payload.length
+        )
+        if payload.allocate:
+            extents = extents + self._allocate_holes(
+                client_id, payload.file_id, payload.offset, payload.length,
+                extents, payload.scattered,
+            )
+        chunk = None
+        if payload.delegation_hint:
+            chunk = self.space.alloc_chunk(
+                self.params.delegation_chunk, client_id=client_id
+            )
+        return LayoutReply(extents=extents, chunk=chunk)
+
+    def _allocate_holes(
+        self,
+        client_id: int,
+        file_id: int,
+        offset: int,
+        length: int,
+        existing: _t.List[Extent],
+        scattered: bool = False,
+    ) -> _t.List[Extent]:
+        """Allocate backing space for unmapped parts of the range."""
+        new_extents: _t.List[Extent] = []
+        cursor = offset
+        end = offset + length
+        for extent in sorted(existing, key=lambda e: e.file_offset):
+            if extent.file_offset > cursor:
+                hole = min(extent.file_offset, end) - cursor
+                if hole > 0:
+                    new_extents.append(
+                        self._alloc_extent(
+                            client_id, file_id, cursor, hole, scattered
+                        )
+                    )
+            cursor = max(cursor, extent.file_end)
+            if cursor >= end:
+                break
+        if cursor < end:
+            new_extents.append(
+                self._alloc_extent(
+                    client_id, file_id, cursor, end - cursor, scattered
+                )
+            )
+        return new_extents
+
+    def _alloc_extent(
+        self,
+        client_id: int,
+        file_id: int,
+        file_offset: int,
+        length: int,
+        scattered: bool = False,
+    ) -> Extent:
+        volume_offset = self.space.alloc(
+            length, client_id=client_id, scattered=scattered
+        )
+        return Extent(
+            file_offset=file_offset,
+            length=length,
+            device_id=self.space.device_id,
+            volume_offset=volume_offset,
+        )
+
+    def _commit(
+        self, payload: CommitPayload, client_id: int
+    ) -> _t.List[bool]:
+        results = []
+        for op in payload.ops:
+            if op.file_id not in self.namespace:
+                # The file was unlinked while this commit was queued or in
+                # flight (delete racing a delayed commit).  Drop the
+                # commit; reclaim only extents this client still holds
+                # uncommitted (an in-place re-commit's space was already
+                # freed by the unlink itself).
+                for extent in op.extents:
+                    self.space.reclaim_if_uncommitted(
+                        client_id, extent.volume_offset, extent.length
+                    )
+                results.append(False)
+                continue
+            # Defensive commit rule: apply an extent only when it is the
+            # committing client's own fresh allocation; skip in-place
+            # rewrites (mapping already correct); drop stale mappings
+            # (e.g. a concurrent writer displaced them meanwhile).
+            applied = []
+            for extent in op.extents:
+                if self.space.holds_uncommitted(
+                    client_id, extent.volume_offset, extent.length
+                ):
+                    applied.append(extent)
+                elif not self.namespace.mapping_matches(op.file_id, extent):
+                    self.stale_commits += 1
+            if applied:
+                freed = self.namespace.commit_extents(
+                    op.file_id, applied, self.env.now
+                )
+                for extent in applied:
+                    self.space.note_committed(
+                        extent.volume_offset, extent.length
+                    )
+                for offset, length in freed:
+                    self.space.free(offset, length)
+            results.append(True)
+        return results
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def queue_length(self) -> int:
+        return self.port.queue_length
+
+    @property
+    def active_daemons(self) -> int:
+        return self._active
+
+    @property
+    def utilization(self) -> float:
+        if self.env.now <= 0:
+            return 0.0
+        return self.busy_time / (self.env.now * self.params.num_daemons)

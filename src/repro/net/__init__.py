@@ -1,0 +1,41 @@
+"""Network substrate: the cluster Ethernet and the metadata RPC layer.
+
+In the paper's testbed all metadata traffic (layout-get, commit,
+delegation) crosses a 1000 Mbps Ethernet to the MDS, while file data goes
+straight to the disk array over Fibre Channel.  This package models the
+Ethernet side:
+
+- :mod:`repro.net.link` -- an analytic FIFO link: serialisation at link
+  bandwidth plus propagation delay, with queueing (congestion) when
+  messages pile up.
+- :mod:`repro.net.messages` -- typed RPC payloads, including the
+  **compound RPC** envelope of §IV.B that carries several commit
+  operations in one message.
+- :mod:`repro.net.rpc` -- client call stubs and the server inbox the MDS
+  daemons consume.
+"""
+
+from repro.net.link import Link, LinkStats
+from repro.net.messages import (
+    CommitOp,
+    CommitPayload,
+    CreatePayload,
+    DelegationPayload,
+    LayoutGetPayload,
+    RpcMessage,
+)
+from repro.net.rpc import RpcClient, RpcServerPort, RpcTransport
+
+__all__ = [
+    "CommitOp",
+    "CommitPayload",
+    "CreatePayload",
+    "DelegationPayload",
+    "LayoutGetPayload",
+    "Link",
+    "LinkStats",
+    "RpcClient",
+    "RpcMessage",
+    "RpcServerPort",
+    "RpcTransport",
+]

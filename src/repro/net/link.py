@@ -1,0 +1,98 @@
+"""Analytic FIFO network link.
+
+A message of ``size`` bytes sent at time *t* on a link with bandwidth *B*
+and propagation delay *d* is delivered at::
+
+    max(t, link_busy_until) + size/B + d
+
+with ``link_busy_until`` advanced to the end of serialisation.  This is
+the standard store-and-forward FIFO model; the queueing term is what the
+paper calls network congestion ("the cluster network becomes congested"),
+and it is the quantity adaptive RPC compounding reduces by sending fewer,
+larger messages.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+from dataclasses import dataclass, field
+
+from repro.sim.events import Event
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Environment
+
+
+@dataclass
+class LinkStats:
+    """Aggregate traffic counters for one link direction."""
+
+    messages: int = 0
+    bytes: int = 0
+    total_queue_delay: float = 0.0
+    max_queue_delay: float = 0.0
+
+    @property
+    def mean_queue_delay(self) -> float:
+        return self.total_queue_delay / self.messages if self.messages else 0.0
+
+
+class Link:
+    """One direction of a point-to-point (or shared) Ethernet segment.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment.
+    bandwidth:
+        Serialisation rate in bytes/second (1 Gbps Ethernet = 125e6).
+    propagation:
+        One-way propagation + stack latency in seconds.
+    per_message_overhead:
+        Fixed wire bytes added per message (frame + IP/TCP headers).
+    """
+
+    def __init__(
+        self,
+        env: "Environment",
+        bandwidth: float = 125e6,
+        propagation: float = 60e-6,
+        per_message_overhead: int = 78,
+        name: str = "link",
+    ) -> None:
+        if bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth}")
+        if propagation < 0:
+            raise ValueError(f"propagation must be >= 0, got {propagation}")
+        self.env = env
+        self.bandwidth = bandwidth
+        self.propagation = propagation
+        self.per_message_overhead = per_message_overhead
+        self.name = name
+        self._busy_until = 0.0
+        self.stats = LinkStats()
+
+    def send(self, size: int) -> Event:
+        """Transmit ``size`` payload bytes; returns the delivery event."""
+        if size < 0:
+            raise ValueError(f"size must be >= 0, got {size}")
+        now = self.env.now
+        wire_bytes = size + self.per_message_overhead
+        start = max(now, self._busy_until)
+        queue_delay = start - now
+        serialisation = wire_bytes / self.bandwidth
+        self._busy_until = start + serialisation
+        delivery_delay = (start - now) + serialisation + self.propagation
+
+        self.stats.messages += 1
+        self.stats.bytes += wire_bytes
+        self.stats.total_queue_delay += queue_delay
+        self.stats.max_queue_delay = max(
+            self.stats.max_queue_delay, queue_delay
+        )
+        return self.env.timeout(delivery_delay)
+
+    @property
+    def backlog(self) -> float:
+        """Seconds of serialisation work currently queued."""
+        return max(0.0, self._busy_until - self.env.now)

@@ -1,0 +1,161 @@
+"""Typed RPC messages between clients and the metadata server.
+
+The wire-size model matters for the Fig. 7 reproduction: a compound RPC
+of *k* commit operations costs one message overhead plus *k* op bodies,
+versus *k* full messages when sent individually.  Sizes below follow the
+rough proportions of ONC-RPC-style metadata protocols (small fixed
+header, a couple hundred bytes per operation).
+"""
+
+from __future__ import annotations
+
+import typing as _t
+from dataclasses import dataclass, field
+
+from repro.sim.events import Event
+
+#: Fixed RPC header/credential bytes per message.
+MESSAGE_HEADER_BYTES = 96
+#: Encoded size of one operation body (arguments, extent descriptors).
+OP_BODY_BYTES = 208
+#: Encoded size of one reply body.
+REPLY_BODY_BYTES = 112
+
+
+@dataclass
+class CreatePayload:
+    """Create a file in the namespace."""
+
+    name: str
+
+
+@dataclass
+class GetattrPayload:
+    """Stat a file."""
+
+    file_id: int
+
+
+@dataclass
+class LayoutGetPayload:
+    """Request the layout (extents) for a byte range of a file.
+
+    ``allocate`` asks the MDS to allocate backing space for any holes
+    (new writes); ``delegation_hint`` carries the client's space-need
+    flag so a fresh delegated chunk can ride back on the reply (§IV.A).
+    """
+
+    file_id: int
+    offset: int
+    length: int
+    allocate: bool = False
+    delegation_hint: bool = False
+    #: Place any new allocation at a random volume position (used when
+    #: seeding aged namespaces).
+    scattered: bool = False
+
+
+@dataclass
+class DelegationPayload:
+    """Explicitly request a delegated space chunk."""
+
+    chunk_size: int
+
+
+@dataclass
+class CommitOp:
+    """Commit one file's new extents to the MDS (metadata update).
+
+    This is the remote sub-operation of the ordered write: it must not be
+    *sent* before the extents' data is stable on disk.
+    """
+
+    file_id: int
+    extents: _t.List[_t.Any]
+    #: Virtual time the originating update entered the commit queue.
+    enqueue_time: float = 0.0
+
+
+@dataclass
+class CommitPayload:
+    """One or more commit operations travelling in a single RPC.
+
+    ``len(ops) > 1`` is the *compound RPC* of §IV.B; the compound degree
+    is simply ``len(ops)``.
+    """
+
+    ops: _t.List[CommitOp] = field(default_factory=list)
+
+    @property
+    def degree(self) -> int:
+        return len(self.ops)
+
+
+@dataclass
+class ReleasePayload:
+    """Return an unused delegated chunk (client shutdown / recovery)."""
+
+    chunks: _t.List[_t.Tuple[int, int]]
+
+
+@dataclass
+class UnlinkPayload:
+    """Remove a file and free its extents."""
+
+    file_id: int
+
+
+Payload = _t.Union[
+    CreatePayload,
+    GetattrPayload,
+    LayoutGetPayload,
+    DelegationPayload,
+    CommitPayload,
+    ReleasePayload,
+    UnlinkPayload,
+]
+
+
+@dataclass
+class RpcMessage:
+    """An RPC in flight: request payload plus reply plumbing.
+
+    ``data_bytes`` / ``reply_data_bytes`` model bulk payloads riding the
+    RPC (NFS WRITE carries the file data to the server; NFS READ replies
+    carry it back).  Redbud metadata RPCs leave both at zero -- its data
+    path is the FC network, not Ethernet.
+    """
+
+    kind: str
+    payload: Payload
+    client_id: int
+    reply_event: Event
+    send_time: float
+    #: Bulk data bytes attached to the request (NFS3/PVFS2 writes).
+    data_bytes: int = 0
+    #: Bulk data bytes the reply will carry (NFS3/PVFS2 reads).
+    reply_data_bytes: int = 0
+    #: Filled by the server with the reply value before reply delivery.
+    result: _t.Any = None
+
+    def op_count(self) -> int:
+        """Number of logical operations carried (compound degree)."""
+        if isinstance(self.payload, CommitPayload):
+            return max(1, len(self.payload.ops))
+        return 1
+
+    def request_size(self) -> int:
+        """Wire size of the request in bytes."""
+        return (
+            MESSAGE_HEADER_BYTES
+            + self.op_count() * OP_BODY_BYTES
+            + self.data_bytes
+        )
+
+    def reply_size(self) -> int:
+        """Wire size of the reply in bytes."""
+        return (
+            MESSAGE_HEADER_BYTES
+            + self.op_count() * REPLY_BODY_BYTES
+            + self.reply_data_bytes
+        )

@@ -1,0 +1,119 @@
+"""RPC plumbing: client call stubs, server inbox, reply routing.
+
+A call crosses the uplink (client -> MDS), waits in the server's inbox
+until a daemon thread picks it up, is processed, and its reply crosses
+the downlink back.  The caller simply ``yield``\\ s the event returned by
+:meth:`RpcClient.call`.
+
+The inbox is shared by all clients of a server (it is the MDS's request
+queue); per-client uplinks model each client's NIC while a single shared
+downlink pair can model the server's NIC if desired.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.net.link import Link
+from repro.net.messages import Payload, RpcMessage
+from repro.sim.events import Event
+from repro.sim.resources import Store
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Environment
+
+
+class RpcServerPort:
+    """The server side: an inbox of delivered requests.
+
+    The MDS daemon threads loop on :meth:`next_request` and answer with
+    :meth:`reply`.
+    """
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.inbox: Store = Store(env)
+        self.requests_received = 0
+        self.replies_sent = 0
+
+    def next_request(self):
+        """Event yielding the next queued :class:`RpcMessage`."""
+        return self.inbox.get()
+
+    @property
+    def queue_length(self) -> int:
+        return len(self.inbox)
+
+    def deliver(self, message: RpcMessage) -> None:
+        """Called by the transport when a request arrives off the wire."""
+        self.requests_received += 1
+        self.inbox.put(message)
+
+    def reply(self, message: RpcMessage, result: _t.Any, downlink: Link) -> None:
+        """Send the reply for ``message`` back over ``downlink``."""
+        message.result = result
+        self.replies_sent += 1
+        delivery = downlink.send(message.reply_size())
+        delivery.callbacks.append(
+            lambda _ev, msg=message: msg.reply_event.succeed(msg.result)
+        )
+
+
+class RpcTransport:
+    """A client's two-way connection to a server port."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        uplink: Link,
+        downlink: Link,
+        port: RpcServerPort,
+    ) -> None:
+        self.env = env
+        self.uplink = uplink
+        self.downlink = downlink
+        self.port = port
+
+    def send_request(self, message: RpcMessage) -> None:
+        delivery = self.uplink.send(message.request_size())
+        delivery.callbacks.append(
+            lambda _ev, msg=message: self.port.deliver(msg)
+        )
+
+
+class RpcClient:
+    """Client-side stub issuing calls over a transport.
+
+    ``call`` returns the reply event; its value is whatever the server
+    passed to :meth:`RpcServerPort.reply`.
+    """
+
+    def __init__(
+        self, env: "Environment", client_id: int, transport: RpcTransport
+    ) -> None:
+        self.env = env
+        self.client_id = client_id
+        self.transport = transport
+        self.calls_sent = 0
+        self.ops_sent = 0
+
+    def call(
+        self,
+        kind: str,
+        payload: Payload,
+        data_bytes: int = 0,
+        reply_data_bytes: int = 0,
+    ) -> Event:
+        message = RpcMessage(
+            kind=kind,
+            payload=payload,
+            client_id=self.client_id,
+            reply_event=Event(self.env),
+            send_time=self.env.now,
+            data_bytes=data_bytes,
+            reply_data_bytes=reply_data_bytes,
+        )
+        self.calls_sent += 1
+        self.ops_sent += message.op_count()
+        self.transport.send_request(message)
+        return message.reply_event

@@ -1,0 +1,73 @@
+"""Discrete-event simulation kernel.
+
+This package is the foundation substrate for the whole reproduction: every
+node, daemon thread, disk head and network link in the simulated cluster is
+a process running against the virtual clock provided here.
+
+The design follows the classic event-calendar architecture (and borrows its
+user-facing idioms from SimPy): an :class:`~repro.sim.engine.Environment`
+owns a heap of scheduled events, and *processes* are Python generators that
+``yield`` events to suspend until those events fire.
+
+Public API
+----------
+- :class:`Environment` -- the virtual clock and event calendar.
+- :class:`Event`, :class:`Timeout`, :class:`AllOf`, :class:`AnyOf` -- events.
+- :class:`Process`, :class:`Interrupt` -- generator-backed processes.
+- :class:`Resource`, :class:`Store`, :class:`PriorityStore`,
+  :class:`FilterStore`, :class:`Container` -- shared-resource primitives.
+- :class:`StreamRNG` -- reproducible, stream-split random numbers.
+
+Example
+-------
+>>> from repro.sim import Environment
+>>> env = Environment()
+>>> log = []
+>>> def proc(env):
+...     yield env.timeout(1.5)
+...     log.append(env.now)
+>>> _ = env.process(proc(env))
+>>> env.run()
+>>> log
+[1.5]
+"""
+
+from repro.sim.engine import Environment, SimulationError
+from repro.sim.events import (
+    AllOf,
+    AnyOf,
+    Condition,
+    ConditionValue,
+    Event,
+    Timeout,
+)
+from repro.sim.process import Interrupt, Process
+from repro.sim.resources import (
+    Container,
+    FilterStore,
+    PriorityItem,
+    PriorityStore,
+    Resource,
+    Store,
+)
+from repro.sim.rng import StreamRNG
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Condition",
+    "ConditionValue",
+    "Container",
+    "Environment",
+    "Event",
+    "FilterStore",
+    "Interrupt",
+    "PriorityItem",
+    "PriorityStore",
+    "Process",
+    "Resource",
+    "SimulationError",
+    "Store",
+    "StreamRNG",
+    "Timeout",
+]

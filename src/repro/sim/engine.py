@@ -1,0 +1,197 @@
+"""The virtual clock and event calendar.
+
+:class:`Environment` owns a binary heap of ``(time, priority, sequence,
+event)`` entries.  :meth:`Environment.step` pops the earliest entry,
+advances ``now`` and runs the event's callbacks; :meth:`Environment.run`
+steps until the calendar empties, a deadline passes, or a given event
+fires.
+
+Determinism
+-----------
+Entries are totally ordered: ties on time break on priority (urgent events
+such as process initialisation fire first), then on a monotonically
+increasing sequence number.  Two runs of the same model with the same RNG
+seeds therefore produce identical traces -- a property the reproduction's
+tests rely on heavily.
+"""
+
+from __future__ import annotations
+
+import heapq
+import typing as _t
+
+from repro.sim.events import (
+    PRIORITY_NORMAL,
+    AllOf,
+    AnyOf,
+    Event,
+    Timeout,
+)
+from repro.sim.process import Process
+
+
+class SimulationError(Exception):
+    """An unhandled failure escaped from the simulation."""
+
+
+class _StopRun(Exception):
+    """Internal: raised by the until-event callback to end ``run``."""
+
+    def __init__(self, event: Event) -> None:
+        self.event = event
+
+
+class Environment:
+    """Execution environment for a single simulation.
+
+    Parameters
+    ----------
+    initial_time:
+        The virtual time at which the clock starts (seconds).
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: _t.List[_t.Tuple[float, int, int, Event]] = []
+        self._seq = 0
+        self._active_process: _t.Optional[Process] = None
+
+    # -- clock ------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> _t.Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    # -- event factories ---------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a fresh pending event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: _t.Any = None) -> Timeout:
+        """An event that fires ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(
+        self,
+        generator: _t.Generator[Event, _t.Any, _t.Any],
+        name: _t.Optional[str] = None,
+    ) -> Process:
+        """Start a new process running ``generator``."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: _t.Iterable[Event]) -> AllOf:
+        """An event that fires when every event in ``events`` has."""
+        return AllOf(self, events)
+
+    def any_of(self, events: _t.Iterable[Event]) -> AnyOf:
+        """An event that fires when any event in ``events`` has."""
+        return AnyOf(self, events)
+
+    # -- scheduling ---------------------------------------------------------
+
+    def schedule(
+        self,
+        event: Event,
+        delay: float = 0.0,
+        priority: int = PRIORITY_NORMAL,
+    ) -> None:
+        """Place a triggered event on the calendar ``delay`` from now."""
+        heapq.heappush(
+            self._queue, (self._now + delay, priority, self._seq, event)
+        )
+        self._seq += 1
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the next scheduled event.
+
+        Raises
+        ------
+        IndexError
+            If the calendar is empty.
+        SimulationError
+            If the event failed and nobody defused the failure.
+        """
+        when, _prio, _seq, event = heapq.heappop(self._queue)
+        self._now = when
+
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+
+        if not event._ok and not event._defused:
+            cause = event._value
+            raise SimulationError(
+                f"unhandled failure in {event!r}: {cause!r}"
+            ) from cause
+
+    def run(self, until: _t.Union[None, float, Event] = None) -> _t.Any:
+        """Run the simulation.
+
+        Parameters
+        ----------
+        until:
+            ``None`` -- run until the calendar is empty.
+            A number -- run until virtual time reaches it (clock is left at
+            exactly ``until``).
+            An :class:`Event` -- run until it is processed; its value is
+            returned (a failed event re-raises its exception).
+        """
+        stop_event: _t.Optional[Event] = None
+        if until is not None:
+            if isinstance(until, Event):
+                stop_event = until
+                if stop_event.callbacks is None:
+                    # Already processed: return (or raise) immediately.
+                    if stop_event._ok:
+                        return stop_event._value
+                    raise stop_event._value
+                stop_event.callbacks.append(_stop_callback)
+            else:
+                deadline = float(until)
+                if deadline < self._now:
+                    raise ValueError(
+                        f"until={deadline} is in the past (now={self._now})"
+                    )
+                stop_event = Event(self)
+                stop_event._ok = True
+                stop_event._value = None
+                # Urgent priority: fire before normal events at `deadline`.
+                self.schedule(stop_event, delay=deadline - self._now, priority=-1)
+                stop_event.callbacks.append(_stop_callback)
+
+        try:
+            while self._queue:
+                self.step()
+        except _StopRun as stop:
+            event = stop.event
+            if event._ok:
+                return event._value
+            event._defused = True
+            raise event._value
+        finally:
+            if stop_event is not None and stop_event.callbacks is not None:
+                try:
+                    stop_event.callbacks.remove(_stop_callback)
+                except ValueError:  # pragma: no cover
+                    pass
+
+        if stop_event is not None and isinstance(until, Event):
+            raise SimulationError(
+                f"run(until={until!r}) ended before the event fired"
+            )
+        return None
+
+
+def _stop_callback(event: Event) -> None:
+    raise _StopRun(event)

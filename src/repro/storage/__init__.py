@@ -1,0 +1,34 @@
+"""Storage substrate: the shared disk array behind the Fibre Channel.
+
+The paper's clients write file data *directly* to a shared disk array over
+a 4 Gb FC network, with request queueing and merging happening in each
+client's block layer.  This package models that stack:
+
+- :mod:`repro.storage.disk` -- mechanical disk service-time model and the
+  shared :class:`DiskArray` server process.
+- :mod:`repro.storage.scheduler` -- per-client elevator (C-LOOK) request
+  queues with front/back contiguous-request merging; this is where the
+  paper's *I/O merge ratio* (Fig. 4) is produced and measured.
+- :mod:`repro.storage.blockdev` -- the submit/wait interface clients use.
+- :mod:`repro.storage.blktrace` -- dispatch-level tracing (Fig. 5).
+- :mod:`repro.storage.cache` -- the client page cache (dirty pages,
+  ``writepage``, read hits).
+"""
+
+from repro.storage.blockdev import BlockDevice
+from repro.storage.blktrace import BlkTrace, SeekAnalysis, TraceRecord
+from repro.storage.cache import PageCache
+from repro.storage.disk import DiskArray, DiskParameters
+from repro.storage.scheduler import BlockRequest, ElevatorScheduler
+
+__all__ = [
+    "BlkTrace",
+    "BlockDevice",
+    "BlockRequest",
+    "DiskArray",
+    "DiskParameters",
+    "ElevatorScheduler",
+    "PageCache",
+    "SeekAnalysis",
+    "TraceRecord",
+]

@@ -1,0 +1,82 @@
+"""The block-device interface a client uses to reach the shared array.
+
+A :class:`BlockDevice` binds one client's elevator queue to the array and
+exposes the two calls the file-system layer needs:
+
+- :meth:`BlockDevice.submit_write` / :meth:`submit_read` -- queue an I/O
+  and get back its completion event (the ``writepage`` of §III.A: issue
+  now, wait -- or not -- later).
+
+Synchronous commit yields the completion immediately after submitting;
+delayed commit stores it in the commit record and lets the background
+daemon wait instead.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.sim.events import Event
+from repro.storage.disk import DiskArray
+from repro.storage.scheduler import READ, WRITE, BlockRequest, ElevatorScheduler
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Environment
+
+
+class BlockDevice:
+    """Per-client block-layer entry point."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        client_id: int,
+        array: DiskArray,
+        max_merge_bytes: int = 512 * 1024,
+    ) -> None:
+        self.env = env
+        self.client_id = client_id
+        self.scheduler = ElevatorScheduler(
+            env, client_id, max_merge_bytes=max_merge_bytes
+        )
+        array.attach(self.scheduler)
+
+    def submit_write(
+        self, start: int, length: int, file_id: int, sync: bool = False
+    ) -> Event:
+        """Queue a data write; returns its completion event (writepage).
+
+        ``sync`` marks a write the application is blocked on: it skips
+        block-layer plugging and is dispatched as soon as the elevator
+        reaches it.
+        """
+        return self._submit(WRITE, start, length, file_id, sync)
+
+    def submit_read(self, start: int, length: int, file_id: int) -> Event:
+        """Queue a data read; returns its completion event."""
+        return self._submit(READ, start, length, file_id, sync=True)
+
+    def expedite_file(self, file_id: int) -> None:
+        """Unplug pending writes of a file (the fsync writeback kick)."""
+        self.scheduler.expedite_file(file_id)
+
+    def _submit(
+        self, op: str, start: int, length: int, file_id: int, sync: bool
+    ) -> Event:
+        completion = Event(self.env)
+        request = BlockRequest(
+            op=op,
+            start=start,
+            length=length,
+            client_id=self.client_id,
+            file_id=file_id,
+            submit_time=self.env.now,
+            completion=completion,
+            sync=sync,
+        )
+        self.scheduler.submit(request)
+        return completion
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self.scheduler)

@@ -1,0 +1,332 @@
+"""Mechanical disk model and the shared disk-array server.
+
+The array is the one the paper's clients reach over 4 Gb Fibre Channel:
+a RAID of several **spindles** behind one controller.  The flat volume
+address space is striped across the spindles; each spindle services at
+most one request at a time, so the array sustains ``num_spindles``
+concurrent operations -- the parallelism a real FC array provides.
+
+Service of a dispatched request decomposes, as in Fig. 1, into::
+
+    seek time + rotational delay + transfer time
+
+per spindle, with the seek component a concave (square-root) function of
+that spindle's head travel.  Requests sequential with the spindle's
+previous one pay neither seek nor rotation -- which is exactly why the
+merging and space-delegation techniques of the paper help: they turn
+many scattered small operations into few sequential large ones.
+
+Each spindle arbitrates round-robin across the per-client elevator
+queues (FC fairness), picking only requests whose addresses stripe onto
+it.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+from dataclasses import dataclass
+
+from repro.sim.rng import StreamRNG
+from repro.storage.blktrace import BlkTrace
+from repro.storage.scheduler import WRITE, BlockRequest, ElevatorScheduler
+from repro.util.intervals import IntervalSet
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Environment
+
+
+@dataclass(frozen=True)
+class DiskParameters:
+    """Mechanical and channel characteristics of the shared array.
+
+    Defaults approximate the paper's FC disk array: four spindles behind
+    a 4 Gb FC fabric, each sustaining ~90 MB/s sequentially with
+    single-digit-millisecond seeks (7200 RPM class drives).
+    """
+
+    #: Flat volume capacity in bytes (address space for allocation).
+    volume_size: int = 64 * 1024 * 1024 * 1024
+    #: Number of spindles the volume is striped across.  FC arrays of
+    #: the paper's era held shelves of drives; sixteen keeps the
+    #: simulated array from becoming the universal bottleneck the real
+    #: one wasn't.
+    num_spindles: int = 16
+    #: RAID-0 stripe unit in bytes.  Logical addresses rotate across
+    #: spindles every stripe; each spindle's own stripes are physically
+    #: contiguous (see :meth:`spindle_local`), so a logically sequential
+    #: stream is sequential on every spindle it touches.  Small enough
+    #: that one client's active write region does not pin one spindle.
+    stripe: int = 256 * 1024
+    #: Sustained sequential transfer rate per spindle, bytes/second.
+    transfer_rate: float = 90e6
+    #: Fixed cost of any non-sequential repositioning (settle), seconds.
+    seek_base: float = 0.0008
+    #: Additional full-stroke seek cost, seconds; scaled by sqrt(distance).
+    seek_max_extra: float = 0.0075
+    #: One rotation period, seconds (7200 RPM); average wait is half.
+    rotation_period: float = 0.00833
+    #: Per-request controller/command overhead, seconds.
+    command_overhead: float = 0.00005
+    #: Accesses within this distance of the head ride the track buffer /
+    #: short-seek optimisation: rotation cost is quartered.  Clustered
+    #: writes (nearby allocation) are much cheaper than far seeks.
+    near_threshold: int = 1024 * 1024
+    #: Block-layer write plugging: an *async* (writeback) write is held
+    #: this long so contiguous submissions can merge into it before
+    #: dispatch, standing in for the kernel's periodic-writeback
+    #: batching.  Sync writes and reads are never plugged.
+    write_plug: float = 0.012
+
+    def seek_time(self, distance: int) -> float:
+        """Head travel time for a move of ``distance`` bytes."""
+        if distance <= 0:
+            return 0.0
+        frac = min(1.0, distance / self.volume_size)
+        return self.seek_base + self.seek_max_extra * (frac**0.5)
+
+    def transfer_time(self, nbytes: int) -> float:
+        return nbytes / self.transfer_rate
+
+    def spindle_of(self, address: int) -> int:
+        """Owning spindle of a volume address.
+
+        Within each *row* (one stripe per spindle) the stripe-to-spindle
+        assignment is rotated by a per-row hash.  Plain modulo striping
+        would align every power-of-two-sized allocation (16 MB delegated
+        chunks, 8 GB allocation groups) onto spindle 0 and turn one
+        spindle into a hotspot; rotated striping -- as real array
+        controllers do -- spreads them.
+        """
+        n = self.num_spindles
+        row = address // (self.stripe * n)
+        idx = (address // self.stripe) % n
+        return (idx + _row_rotation(row)) % n
+
+    def spindle_local(self, address: int) -> int:
+        """Physical address on the owning spindle.
+
+        Every row places exactly one of its stripes on each spindle
+        (rotation permutes, never doubles up), so stripe rows pack
+        contiguously on each spindle's platters -- the standard RAID-0
+        layout.  Seek distances are computed in this space, which is why
+        a logically sequential stream costs no seeks even though it
+        rotates across spindles.
+        """
+        full_rows = address // (self.stripe * self.num_spindles)
+        return full_rows * self.stripe + (address % self.stripe)
+
+
+def _row_rotation(row: int) -> int:
+    """Deterministic per-row rotation; mixes bits so power-of-two row
+    indices do not collapse onto one rotation value."""
+    h = row ^ (row >> 3)
+    h = (h * 0x9E3779B1) & 0xFFFFFFFF
+    return h >> 16
+
+
+class DiskArray:
+    """The shared multi-spindle disk array serving every client's queue.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment.
+    params:
+        Mechanical model parameters.
+    rng:
+        Stream for rotational-latency draws.
+    trace:
+        Optional :class:`~repro.storage.blktrace.BlkTrace` collector.
+    """
+
+    def __init__(
+        self,
+        env: "Environment",
+        params: DiskParameters,
+        rng: StreamRNG,
+        trace: _t.Optional[BlkTrace] = None,
+    ) -> None:
+        if params.num_spindles <= 0:
+            raise ValueError(f"need at least one spindle: {params}")
+        self.env = env
+        self.params = params
+        self.rng = rng
+        self.trace = trace
+        self._schedulers: _t.List[ElevatorScheduler] = []
+        n = params.num_spindles
+        self._heads = [0] * n  # logical, for C-LOOK ordering
+        self._local_heads = [0] * n  # physical, for seek distances
+        self._rr_index = [0] * n
+        #: Consecutive reads served per spindle (write-starvation bound).
+        self._read_streak = [0] * n
+        #: Serve at most this many reads in a row while writes wait (the
+        #: Linux deadline scheduler's ``writes_starved`` knob).  One
+        #: alternates read and write rounds whenever both are pending,
+        #: bounding how long a synchronous writer or a reader can stall
+        #: behind the other class.
+        self.write_starvation_limit = 1
+        self._wakeups = [env.event() for _ in range(n)]
+        self._processes = [
+            env.process(self._serve(spindle), name=f"spindle-{spindle}")
+            for spindle in range(n)
+        ]
+        #: Totals across the run.
+        self.ops_served = 0
+        self.bytes_served = 0
+        self.busy_time = 0.0
+        #: Volume ranges whose data is durable (ground truth for the
+        #: ordered-writes invariant checker).  A write becomes stable only
+        #: when its service completes; queued/in-flight writes are lost on
+        #: a crash.
+        self.stable = IntervalSet()
+
+    # -- wiring ---------------------------------------------------------------
+
+    def attach(self, scheduler: ElevatorScheduler) -> None:
+        """Register a client's elevator queue with the array."""
+        scheduler.on_submit = self._notify
+        self._schedulers.append(scheduler)
+
+    def _notify(self) -> None:
+        for wakeup in self._wakeups:
+            if not wakeup.triggered:
+                wakeup.succeed()
+
+    # -- service loops -----------------------------------------------------------
+
+    def _pop_rr(
+        self, spindle: int, op: _t.Optional[str]
+    ) -> _t.Optional[BlockRequest]:
+        """One round-robin pass over client queues for ``op`` requests."""
+        n = len(self._schedulers)
+        params = self.params
+        for offset in range(n):
+            idx = (self._rr_index[spindle] + offset) % n
+            request = self._schedulers[idx].pop_next_for_spindle(
+                self._heads[spindle],
+                spindle,
+                params.spindle_of,
+                op=op,
+                write_plug=params.write_plug,
+            )
+            if request is not None:
+                self._rr_index[spindle] = (idx + 1) % n
+                return request
+        return None
+
+    def _next_request(
+        self, spindle: int
+    ) -> _t.Optional[BlockRequest]:
+        """Deadline-scheduler pick: prefer reads, bound write starvation.
+
+        Synchronous reads block applications while queued writes are
+        asynchronous writeback, so reads go first -- except after
+        ``write_starvation_limit`` consecutive reads, when one write
+        round is forced.
+        """
+        from repro.storage.scheduler import READ, WRITE
+
+        if self._read_streak[spindle] >= self.write_starvation_limit:
+            request = self._pop_rr(spindle, WRITE)
+            if request is not None:
+                self._read_streak[spindle] = 0
+                return request
+        request = self._pop_rr(spindle, READ)
+        if request is not None:
+            self._read_streak[spindle] += 1
+            return request
+        request = self._pop_rr(spindle, None)
+        if request is not None:
+            self._read_streak[spindle] = 0
+        return request
+
+    def _earliest_plug_expiry(self, spindle: int) -> _t.Optional[float]:
+        earliest: _t.Optional[float] = None
+        for sched in self._schedulers:
+            ready = sched.earliest_plug_expiry(
+                spindle, self.params.spindle_of, self.params.write_plug
+            )
+            if ready is not None and (earliest is None or ready < earliest):
+                earliest = ready
+        return earliest
+
+    def _serve(self, spindle: int) -> _t.Generator:
+        env = self.env
+        while True:
+            request = self._next_request(spindle)
+            if request is None:
+                # Nothing dispatchable.  Sleep until a new submission
+                # arrives -- or, if plugged writes are pending, until the
+                # oldest unplugs, whichever comes first (a newly arrived
+                # sync request must not wait out a write plug).
+                self._wakeups[spindle] = env.event()
+                plug_ready = self._earliest_plug_expiry(spindle)
+                if plug_ready is not None:
+                    delay = max(0.0, plug_ready - env.now) + 1e-9
+                    yield env.any_of(
+                        [env.timeout(delay), self._wakeups[spindle]]
+                    )
+                else:
+                    yield self._wakeups[spindle]
+                continue
+
+            service, seek_distance = self.service_time(spindle, request)
+            start = env.now
+            yield env.timeout(service)
+            self.busy_time += env.now - start
+
+            self._heads[spindle] = request.end
+            self._local_heads[spindle] = (
+                self.params.spindle_local(request.end - 1) + 1
+            )
+            self.ops_served += 1
+            self.bytes_served += request.length
+            if request.op == WRITE:
+                self.stable.add(request.start, request.end)
+            if self.trace is not None:
+                self.trace.record(
+                    time=env.now,
+                    op=request.op,
+                    start=request.start,
+                    length=request.length,
+                    seek_distance=seek_distance,
+                    client_id=request.client_id,
+                    queued=request.count_all(),
+                )
+            request.complete_all()
+
+    def service_time(
+        self, spindle: int, request: BlockRequest
+    ) -> _t.Tuple[float, int]:
+        """Return (service seconds, seek distance bytes) for ``request``.
+
+        The seek distance is measured in the spindle's local (physical)
+        address space; heads are tracked logically (for C-LOOK ordering)
+        and mapped here.
+        """
+        distance = abs(
+            self.params.spindle_local(request.start)
+            - self._local_heads[spindle]
+        )
+        service = self.params.command_overhead + self.params.transfer_time(
+            request.length
+        )
+        if distance > 0:
+            service += self.params.seek_time(distance)
+            rotation = self.params.rotation_period
+            if distance < self.params.near_threshold:
+                rotation /= 4.0  # track buffer / short-seek optimisation
+            service += self.rng.uniform(0.0, rotation)
+        return service, distance
+
+    @property
+    def head_position(self) -> int:
+        """Head of spindle 0 (kept for single-spindle tests)."""
+        return self._heads[0]
+
+    @property
+    def utilization(self) -> float:
+        """Mean per-spindle busy fraction of elapsed virtual time."""
+        if self.env.now <= 0:
+            return 0.0
+        return self.busy_time / (self.env.now * self.params.num_spindles)

@@ -1,0 +1,344 @@
+"""Per-client block request queues with elevator ordering and merging.
+
+Each Redbud client owns one :class:`ElevatorScheduler` -- the analogue of
+the Linux block-layer request queue on which the paper ran ``blktrace``.
+Two behaviours matter for the reproduction:
+
+*Merging* (Fig. 1, Fig. 4).  When a new request is contiguous with one
+already waiting (same direction, back-to-back LBAs) the two are coalesced
+into a single disk operation.  Merges can only happen while requests
+*coexist* in the queue, which is why synchronous commit (queue depth ~1)
+shows none and delayed commit (many outstanding writes) shows many.
+
+*Elevator ordering* (Fig. 5).  Dispatch follows C-LOOK: the request with
+the lowest start address at-or-after the head position goes first, wrapping
+to the lowest address when the sweep passes the end.  This shapes the seek
+traces of Fig. 5.
+"""
+
+from __future__ import annotations
+
+import bisect
+import typing as _t
+from dataclasses import dataclass, field
+
+from repro.sim.events import Event
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Environment
+
+READ = "read"
+WRITE = "write"
+
+
+@dataclass
+class BlockRequest:
+    """One block-layer I/O request against the shared volume.
+
+    ``start``/``length`` are byte addresses on the flat volume address
+    space.  ``completion`` fires when the disk array finishes the request
+    (or the request it was merged into).
+    """
+
+    op: str
+    start: int
+    length: int
+    client_id: int
+    file_id: int
+    submit_time: float
+    completion: Event
+    #: A synchronous request (the application is waiting on it): never
+    #: plugged, dispatched as soon as the elevator reaches it.  Async
+    #: writeback requests are plugged so neighbours can merge in.
+    sync: bool = False
+    #: Requests absorbed into this one by merging.
+    merged: _t.List["BlockRequest"] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.op not in (READ, WRITE):
+            raise ValueError(f"bad op {self.op!r}")
+        if self.start < 0 or self.length <= 0:
+            raise ValueError(
+                f"bad extent start={self.start} length={self.length}"
+            )
+
+    @property
+    def end(self) -> int:
+        return self.start + self.length
+
+    def complete_all(self) -> None:
+        """Fire completion for this request and everything merged into it."""
+        self.completion.succeed()
+        for sub in self.merged:
+            sub.complete_all()
+
+    def count_all(self) -> int:
+        """Number of original submissions represented (self + merged)."""
+        return 1 + sum(sub.count_all() for sub in self.merged)
+
+    def __repr__(self) -> str:
+        return (
+            f"<BlockRequest {self.op} [{self.start}, {self.end}) "
+            f"client={self.client_id} file={self.file_id}>"
+        )
+
+
+@dataclass
+class SchedulerStats:
+    """Counters from which the I/O merge ratio (Fig. 4) is computed."""
+
+    submitted: int = 0
+    dispatched: int = 0
+    #: Original submissions carried by dispatched requests (a dispatch
+    #: of a request with three merged neighbours counts four).
+    dispatched_submissions: int = 0
+    merges: int = 0
+    bytes_submitted: int = 0
+
+    @property
+    def merge_ratio(self) -> float:
+        """Submitted requests per dispatched disk operation (>= 1.0).
+
+        Computed over *dispatched* work only, so a still-queued backlog
+        at the end of a run does not inflate the ratio.
+        """
+        if self.dispatched == 0:
+            return 1.0
+        return self.dispatched_submissions / self.dispatched
+
+    def merged_into(self, other: "SchedulerStats") -> None:
+        other.submitted += self.submitted
+        other.dispatched += self.dispatched
+        other.dispatched_submissions += self.dispatched_submissions
+        other.merges += self.merges
+        other.bytes_submitted += self.bytes_submitted
+
+
+class ElevatorScheduler:
+    """C-LOOK elevator queue with contiguous-request merging.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment.
+    client_id:
+        Owning client (queues are per-client, as in the paper's setup).
+    max_merge_bytes:
+        Upper bound on a merged request's size, mirroring the block
+        layer's ``max_sectors`` limit.
+    """
+
+    def __init__(
+        self,
+        env: "Environment",
+        client_id: int,
+        max_merge_bytes: int = 512 * 1024,
+        read_deadline: float = 0.05,
+        write_deadline: float = 0.5,
+    ) -> None:
+        self.env = env
+        self.client_id = client_id
+        self.max_merge_bytes = max_merge_bytes
+        #: Anti-starvation deadlines (the Linux ``deadline`` scheduler's
+        #: idea): a request older than its deadline is served before the
+        #: C-LOOK sweep continues.  Without this, an ever-advancing write
+        #: frontier starves reads behind the head indefinitely.
+        self.read_deadline = read_deadline
+        self.write_deadline = write_deadline
+        #: Requests waiting for dispatch, kept sorted by start address.
+        self._queue: _t.List[BlockRequest] = []
+        self._starts: _t.List[int] = []
+        self.stats = SchedulerStats()
+        #: Called (with no args) whenever a request becomes available.
+        self.on_submit: _t.Optional[_t.Callable[[], None]] = None
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def pending(self) -> _t.Sequence[BlockRequest]:
+        return tuple(self._queue)
+
+    # -- submission with merging -------------------------------------------
+
+    def submit(self, request: BlockRequest) -> None:
+        """Queue ``request``, merging it into a neighbour if contiguous."""
+        self.stats.submitted += 1
+        self.stats.bytes_submitted += request.length
+
+        if not self._try_merge(request):
+            idx = bisect.bisect_left(self._starts, request.start)
+            self._queue.insert(idx, request)
+            self._starts.insert(idx, request.start)
+
+        if self.on_submit is not None:
+            self.on_submit()
+
+    def _try_merge(self, request: BlockRequest) -> bool:
+        """Attempt a back- or front-merge with a queued request."""
+        # Back merge: queued request ends where the new one starts.
+        idx = bisect.bisect_right(self._starts, request.start) - 1
+        if 0 <= idx < len(self._queue):
+            head = self._queue[idx]
+            if (
+                head.op == request.op
+                and head.end == request.start
+                and head.length + request.length <= self.max_merge_bytes
+            ):
+                head.merged.append(request)
+                head.length += request.length
+                self.stats.merges += 1
+                return True
+
+        # Front merge: new request ends where a queued one starts.
+        idx = bisect.bisect_left(self._starts, request.end)
+        if 0 <= idx < len(self._queue):
+            tail = self._queue[idx]
+            if (
+                tail.op == request.op
+                and request.end == tail.start
+                and tail.length + request.length <= self.max_merge_bytes
+            ):
+                # The new request becomes the head of the merged pair.
+                self._queue.pop(idx)
+                self._starts.pop(idx)
+                request.merged.append(tail)
+                request.length += tail.length
+                new_idx = bisect.bisect_left(self._starts, request.start)
+                self._queue.insert(new_idx, request)
+                self._starts.insert(new_idx, request.start)
+                self.stats.merges += 1
+                return True
+
+        return False
+
+    # -- dispatch ------------------------------------------------------------
+
+    def pop_next(self, head_position: int) -> BlockRequest:
+        """Remove and return the next request in C-LOOK order.
+
+        The request with the smallest start address at or after
+        ``head_position`` is chosen; if the sweep has passed every queued
+        request, it wraps to the lowest address.
+        """
+        if not self._queue:
+            raise IndexError("scheduler queue is empty")
+        idx = bisect.bisect_left(self._starts, head_position)
+        if idx >= len(self._queue):
+            idx = 0  # C-LOOK wrap.
+        request = self._queue.pop(idx)
+        self._starts.pop(idx)
+        self.stats.dispatched += 1
+        self.stats.dispatched_submissions += request.count_all()
+        return request
+
+    def pop_next_for_spindle(
+        self,
+        head_position: int,
+        spindle_id: int,
+        spindle_of: _t.Callable[[int], int],
+        op: _t.Optional[str] = None,
+        write_plug: float = 0.0,
+    ) -> _t.Optional[BlockRequest]:
+        """Deadline-then-C-LOOK pop restricted to one spindle's requests.
+
+        ``spindle_of`` maps a start address to its owning spindle (the
+        array's striping function); a request belongs to the spindle of
+        its start address.  Requests past their deadline are served
+        oldest-first before the sweep continues.  ``op`` restricts the
+        pick to reads or writes (the array uses this for its global read
+        preference).  ``write_plug`` holds writes younger than the given
+        age in the queue -- the block layer's *plugging*, which lets a
+        burst of contiguous submissions coalesce before dispatch.
+        Returns ``None`` when no matching request is queued.
+        """
+        now = self.env.now
+        best_idx: _t.Optional[int] = None
+        wrap_idx: _t.Optional[int] = None
+        expired_idx: _t.Optional[int] = None
+        expired_time = float("inf")
+        for idx, (start, request) in enumerate(
+            zip(self._starts, self._queue)
+        ):
+            if op is not None and request.op != op:
+                continue
+            if spindle_of(start) != spindle_id:
+                continue
+            if (
+                write_plug > 0.0
+                and request.op == WRITE
+                and not request.sync
+                and now - request.submit_time < write_plug
+            ):
+                continue  # still plugged: let neighbours merge in
+            deadline = (
+                self.read_deadline
+                if request.op == READ
+                else self.write_deadline
+            )
+            if now - request.submit_time > deadline:
+                if request.submit_time < expired_time:
+                    expired_time = request.submit_time
+                    expired_idx = idx
+            if best_idx is None and start >= head_position:
+                best_idx = idx
+            if wrap_idx is None:
+                wrap_idx = idx
+        if expired_idx is not None:
+            idx: _t.Optional[int] = expired_idx
+        else:
+            idx = best_idx if best_idx is not None else wrap_idx
+        if idx is None:
+            return None
+        request = self._queue.pop(idx)
+        self._starts.pop(idx)
+        self.stats.dispatched += 1
+        self.stats.dispatched_submissions += request.count_all()
+        return request
+
+    def has_request_for_spindle(
+        self, spindle_id: int, spindle_of: _t.Callable[[int], int]
+    ) -> bool:
+        return any(
+            spindle_of(start) == spindle_id for start in self._starts
+        )
+
+    def earliest_plug_expiry(
+        self,
+        spindle_id: int,
+        spindle_of: _t.Callable[[int], int],
+        write_plug: float,
+    ) -> _t.Optional[float]:
+        """When the oldest plugged write for this spindle becomes
+        dispatchable, or ``None`` if none are queued."""
+        earliest: _t.Optional[float] = None
+        for start, request in zip(self._starts, self._queue):
+            if request.op != WRITE or spindle_of(start) != spindle_id:
+                continue
+            if request.sync:
+                continue  # dispatchable already
+            ready = request.submit_time + write_plug
+            if earliest is None or ready < earliest:
+                earliest = ready
+        return earliest
+
+    def expedite_file(self, file_id: int) -> None:
+        """Unplug every queued write of ``file_id`` (fsync kicks
+        writeback: plugged async writes become dispatchable at once)."""
+        changed = False
+        for request in self._queue:
+            if request.file_id == file_id and request.op == WRITE:
+                request.sync = True
+                changed = True
+        if changed and self.on_submit is not None:
+            self.on_submit()
+
+    def expedite_all_writes(self) -> None:
+        """Unplug everything (memory-pressure writeback kick)."""
+        changed = False
+        for request in self._queue:
+            if request.op == WRITE and not request.sync:
+                request.sync = True
+                changed = True
+        if changed and self.on_submit is not None:
+            self.on_submit()

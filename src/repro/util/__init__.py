@@ -1,0 +1,6 @@
+"""Shared small utilities (interval arithmetic, formatting helpers)."""
+
+from repro.util.intervals import IntervalSet
+from repro.util.units import fmt_bytes, fmt_rate, fmt_time
+
+__all__ = ["IntervalSet", "fmt_bytes", "fmt_rate", "fmt_time"]

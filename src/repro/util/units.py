@@ -1,0 +1,27 @@
+"""Human-readable formatting helpers for reports and examples."""
+
+from __future__ import annotations
+
+
+def fmt_bytes(n: float) -> str:
+    """Format a byte count: ``fmt_bytes(32768) == '32.0KB'``."""
+    value = float(n)
+    for unit in ("B", "KB", "MB", "GB", "TB"):
+        if abs(value) < 1024.0 or unit == "TB":
+            return f"{value:.1f}{unit}" if unit != "B" else f"{int(value)}B"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def fmt_rate(bytes_per_sec: float) -> str:
+    """Format a throughput: ``fmt_rate(2.6e6) == '2.48MB/s'``."""
+    return f"{bytes_per_sec / (1024 * 1024):.2f}MB/s"
+
+
+def fmt_time(seconds: float) -> str:
+    """Format a duration with a sensible unit."""
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.2f}ms"
+    return f"{seconds:.2f}s"

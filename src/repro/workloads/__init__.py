@@ -1,0 +1,31 @@
+"""Workload generators for the paper's evaluation (§V.B).
+
+- :mod:`repro.workloads.spec` -- the workload abstraction and timing
+  helpers.
+- :mod:`repro.workloads.filebench` -- the three Filebench personalities
+  the paper uses: **fileserver**, **varmail**, **webproxy**.
+- :mod:`repro.workloads.xcdn` -- the CDN benchmark: small-file writes
+  scattered over a large namespace, parameterised by file size.
+- :mod:`repro.workloads.npb` -- an NPB BT-IO-like parallel writer with
+  read-back verification (the paper's conflict-operation test).
+"""
+
+from repro.workloads.filebench import (
+    FileserverWorkload,
+    VarmailWorkload,
+    WebproxyWorkload,
+)
+from repro.workloads.npb import NpbBtIoWorkload
+from repro.workloads.spec import Workload, WorkloadContext, timed
+from repro.workloads.xcdn import XcdnWorkload
+
+__all__ = [
+    "FileserverWorkload",
+    "NpbBtIoWorkload",
+    "VarmailWorkload",
+    "WebproxyWorkload",
+    "Workload",
+    "WorkloadContext",
+    "XcdnWorkload",
+    "timed",
+]

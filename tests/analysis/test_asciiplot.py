@@ -1,0 +1,60 @@
+"""Tests for the ASCII figure renderers."""
+
+import pytest
+
+from repro.analysis.asciiplot import _si, dual_series, scatter
+
+
+def test_scatter_renders_points():
+    out = scatter([0, 1, 2], [0, 5, 10], title="demo", width=20, height=6)
+    lines = out.splitlines()
+    assert lines[0] == "demo"
+    body = "\n".join(lines[1:])
+    assert "." in body or "+" in body
+    # Axis labels carry the extremes.
+    assert "10" in out and "0" in out
+
+
+def test_scatter_density_shading():
+    xs = [0.5] * 50 + [0.0, 1.0]
+    ys = [0.5] * 50 + [0.0, 1.0]
+    out = scatter(xs, ys, width=10, height=5)
+    assert "#" in out  # the dense cell
+    assert "." in out  # the lone corners
+
+
+def test_scatter_empty():
+    assert "(no data)" in scatter([], [], title="t")
+
+
+def test_scatter_degenerate_single_point():
+    out = scatter([3.0], [7.0], width=10, height=5)
+    assert "." in out
+
+
+def test_scatter_validates_size():
+    with pytest.raises(ValueError):
+        scatter([1], [1], width=2, height=2)
+
+
+def test_dual_series_marks_both():
+    times = list(range(20))
+    a = [i % 5 for i in times]
+    b = [10 * (i % 3) for i in times]
+    out = dual_series(times, a, b, a_label="threads", b_label="queue")
+    assert "*" in out or "@" in out
+    assert "o" in out or "@" in out
+    assert "threads" in out and "queue" in out
+
+
+def test_dual_series_empty():
+    assert "(no data)" in dual_series([], [], [], title="x")
+
+
+def test_si_formatting():
+    assert _si(0) == "0"
+    assert _si(950) == "950"
+    assert _si(1500) == "1.5K"
+    assert _si(2_500_000) == "2.5M"
+    assert _si(3_000_000_000) == "3G"
+    assert _si(0.25) == "0.25"

@@ -1,0 +1,70 @@
+"""Tests for metric accumulation and latency statistics."""
+
+import pytest
+
+from repro.analysis.metrics import LatencyStats, OpMetrics
+
+
+def test_empty_metrics():
+    m = OpMetrics()
+    assert m.total_ops == 0
+    assert m.total_bytes == 0
+    assert m.elapsed() == 0.0
+    assert m.ops_per_second() == 0.0
+    assert m.latency().count == 0
+
+
+def test_record_and_aggregate():
+    m = OpMetrics()
+    m.record("write", 0.01, 4096, now=1.0)
+    m.record("write", 0.03, 4096, now=2.0)
+    m.record("read", 0.02, 8192, now=3.0)
+    assert m.total_ops == 3
+    assert m.count("write") == 2
+    assert m.count("read") == 1
+    assert m.bytes_for("write") == 8192
+    assert m.total_bytes == 16384
+    assert m.op_types() == ["read", "write"]
+    assert m.latency("write").mean == pytest.approx(0.02)
+    assert m.latency().count == 3
+
+
+def test_negative_latency_rejected():
+    with pytest.raises(ValueError):
+        OpMetrics().record("x", -0.1)
+
+
+def test_throughput_with_explicit_duration():
+    m = OpMetrics()
+    for i in range(10):
+        m.record("op", 0.001, 100, now=float(i))
+    assert m.ops_per_second(duration=5.0) == 2.0
+    assert m.bytes_per_second(duration=5.0) == 200.0
+
+
+def test_merge_from_combines():
+    a, b = OpMetrics(), OpMetrics()
+    a.record("write", 0.01, 1, now=1.0)
+    b.record("write", 0.03, 2, now=5.0)
+    b.record("read", 0.02, 4, now=6.0)
+    a.merge_from(b)
+    assert a.total_ops == 3
+    assert a.bytes_for("write") == 3
+    assert a.end_time == 6.0
+    assert a.start_time < 1.0
+
+
+def test_latency_stats_percentiles():
+    samples = [i / 100 for i in range(1, 101)]
+    stats = LatencyStats.from_samples(samples)
+    assert stats.count == 100
+    assert stats.p50 == pytest.approx(0.505, abs=0.01)
+    assert stats.p95 == pytest.approx(0.95, abs=0.02)
+    assert stats.p99 == pytest.approx(0.99, abs=0.02)
+    assert stats.max == 1.0
+
+
+def test_latency_stats_empty():
+    stats = LatencyStats.from_samples([])
+    assert stats.count == 0
+    assert stats.mean == 0.0

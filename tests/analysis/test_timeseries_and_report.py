@@ -1,0 +1,117 @@
+"""Tests for time series, pool summaries, merge-ratio pooling, tables."""
+
+import pytest
+
+from repro.analysis.mergeratio import aggregate_merge_ratio, write_merge_ratio
+from repro.analysis.report import Table
+from repro.analysis.timeseries import TimeSeries, summarize_pool_samples
+from repro.sim import Environment
+from repro.storage.scheduler import ElevatorScheduler
+
+
+# -- TimeSeries -----------------------------------------------------------
+
+
+def test_timeseries_basics():
+    ts = TimeSeries([(0.0, 1.0), (1.0, 3.0), (2.0, 2.0)])
+    assert len(ts) == 3
+    assert ts.mean() == 2.0
+    assert ts.max() == 3.0
+    assert ts.min() == 1.0
+    assert list(ts.times) == [0.0, 1.0, 2.0]
+
+
+def test_timeseries_requires_ordered_times():
+    ts = TimeSeries([(1.0, 5.0)])
+    with pytest.raises(ValueError):
+        ts.append(0.5, 1.0)
+
+
+def test_timeseries_fraction_at():
+    ts = TimeSeries([(0, 9), (1, 9), (2, 3), (3, 9)])
+    assert ts.fraction_at(9) == 0.75
+
+
+def test_timeseries_bucketed():
+    ts = TimeSeries([(0.0, 2.0), (0.5, 4.0), (1.2, 10.0)])
+    buckets = ts.bucketed(1.0)
+    assert buckets[0] == (0.0, 3.0)
+    assert buckets[1] == (1.0, 10.0)
+
+
+def test_empty_timeseries():
+    ts = TimeSeries()
+    assert ts.mean() == 0.0
+    assert ts.bucketed(1.0) == []
+    assert ts.fraction_at(1) == 0.0
+
+
+# -- pool summaries -----------------------------------------------------------
+
+
+def test_pool_summary_tracks_correlation():
+    samples = [(t * 0.1, 1 + t // 10, 10 * (1 + t // 10)) for t in range(100)]
+    summary = summarize_pool_samples(samples, max_threads=9)
+    assert summary.samples == 100
+    assert summary.thread_queue_correlation > 0.9
+    assert summary.max_threads == 10
+    assert summary.mean_queue > 0
+
+
+def test_pool_summary_empty():
+    summary = summarize_pool_samples([], max_threads=9)
+    assert summary.samples == 0
+    assert summary.thread_queue_correlation == 0.0
+
+
+def test_pool_summary_fraction_at_max():
+    samples = [(0.0, 9, 100), (0.1, 9, 100), (0.2, 1, 0), (0.3, 9, 100)]
+    summary = summarize_pool_samples(samples, max_threads=9)
+    assert summary.fraction_at_max_threads == 0.75
+
+
+# -- merge-ratio pooling -----------------------------------------------------------
+
+
+def test_aggregate_merge_ratio_pools_counters():
+    env = Environment()
+    s1 = ElevatorScheduler(env, 0)
+    s2 = ElevatorScheduler(env, 1)
+    s1.stats.submitted, s1.stats.dispatched = 10, 5
+    s1.stats.dispatched_submissions = 10
+    s2.stats.submitted, s2.stats.dispatched = 6, 3
+    s2.stats.dispatched_submissions = 6
+    total = aggregate_merge_ratio([s1, s2])
+    assert total.submitted == 16
+    assert total.dispatched == 8
+    assert total.dispatched_submissions == 16
+    assert total.merge_ratio == 2.0
+    assert write_merge_ratio([s1, s2]) == 2.0
+
+
+# -- tables -----------------------------------------------------------
+
+
+def test_table_renders_fixed_width():
+    t = Table(["name", "value"], title="demo")
+    t.add_row("alpha", 1.5)
+    t.add_row("b", 42)
+    text = t.render()
+    lines = text.splitlines()
+    assert lines[0] == "demo"
+    assert "name" in lines[1] and "value" in lines[1]
+    assert "alpha" in lines[3]
+    assert "1.50" in lines[3]
+    assert "42" in lines[4]
+
+
+def test_table_cell_count_enforced():
+    t = Table(["a", "b"])
+    with pytest.raises(ValueError):
+        t.add_row(1)
+
+
+def test_table_small_floats_scientific():
+    t = Table(["x"])
+    t.add_row(0.0000123)
+    assert "e-" in t.render()

@@ -1,0 +1,94 @@
+"""Property-based crash testing: random crash instants, random seeds.
+
+The strongest form of the paper's §III claim: under ordered writes
+(delayed commit included), *no* crash instant produces dangling
+metadata, and recovery always rebalances the allocator.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.metrics import OpMetrics
+from repro.consistency import check_ordered_writes, crash_cluster, recover
+from repro.fs import ClusterConfig, RedbudCluster
+from repro.workloads import XcdnWorkload
+from repro.workloads.spec import WorkloadContext
+
+
+def launch(commit_mode, seed, delegation):
+    config = ClusterConfig(
+        num_clients=2,
+        commit_mode=commit_mode,
+        space_delegation=delegation,
+    )
+    cluster = RedbudCluster(config, seed=seed)
+    env = cluster.env
+    workload = XcdnWorkload(
+        file_size=32 * 1024, seed_files_per_client=4, threads_per_client=2
+    )
+    shared = {}
+    contexts = [
+        WorkloadContext(
+            env=env,
+            fs=cluster.clients[i],
+            rng=cluster.root_rng.stream("wl", i),
+            client_index=i,
+            num_clients=2,
+            metrics=OpMetrics(),
+            shared=shared,
+        )
+        for i in range(2)
+    ]
+    setups = [env.process(workload.setup(ctx)) for ctx in contexts]
+    env.run(until=env.all_of(setups))
+
+    def forever(ctx, tid):
+        while True:
+            yield from workload.op(ctx, tid)
+
+    for ctx in contexts:
+        for tid in range(workload.threads_per_client):
+            env.process(forever(ctx, tid))
+    return cluster
+
+
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    seed=st.integers(0, 10_000),
+    crash_after=st.floats(0.005, 0.6),
+    delegation=st.booleans(),
+)
+def test_delayed_commit_invariant_under_random_crashes(
+    seed, crash_after, delegation
+):
+    cluster = launch("delayed", seed, delegation)
+    state = crash_cluster(cluster, at_time=cluster.env.now + crash_after)
+    report = check_ordered_writes(
+        state.namespace, state.stable, state.space
+    )
+    assert report.consistent, report.summary()
+    recovery = recover(state)
+    assert recovery.recovered_consistent, [
+        v.detail for v in recovery.post_check.violations
+    ]
+
+
+@settings(
+    max_examples=6,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(seed=st.integers(0, 10_000), crash_after=st.floats(0.005, 0.4))
+def test_synchronous_commit_invariant_under_random_crashes(
+    seed, crash_after
+):
+    cluster = launch("synchronous", seed, False)
+    state = crash_cluster(cluster, at_time=cluster.env.now + crash_after)
+    report = check_ordered_writes(
+        state.namespace, state.stable, state.space
+    )
+    assert report.consistent, report.summary()

@@ -1,0 +1,72 @@
+"""Unit tests for the ordered-writes invariant checker."""
+
+from repro.consistency.invariant import check_ordered_writes
+from repro.mds.allocation import SpaceManager
+from repro.mds.extent import Extent
+from repro.mds.namespace import Namespace
+from repro.util.intervals import IntervalSet
+
+
+def ext(fo, ln, vo):
+    return Extent(file_offset=fo, length=ln, device_id=0, volume_offset=vo)
+
+
+def test_empty_namespace_is_consistent():
+    report = check_ordered_writes(Namespace(), IntervalSet())
+    assert report.consistent
+    assert report.files_checked == 0
+    assert "CONSISTENT" in report.summary()
+
+
+def test_committed_extent_with_stable_data_passes():
+    ns = Namespace()
+    meta = ns.create("f", now=0.0)
+    ns.commit_extents(meta.file_id, [ext(0, 4096, 1000)], now=1.0)
+    stable = IntervalSet([(1000, 5096)])
+    report = check_ordered_writes(ns, stable)
+    assert report.consistent
+    assert report.extents_checked == 1
+    assert report.committed_bytes == 4096
+
+
+def test_dangling_metadata_detected():
+    ns = Namespace()
+    meta = ns.create("f", now=0.0)
+    ns.commit_extents(meta.file_id, [ext(0, 4096, 1000)], now=1.0)
+    report = check_ordered_writes(ns, IntervalSet())  # nothing stable
+    assert not report.consistent
+    assert report.violations[0].kind == "dangling-metadata"
+    assert "4096 unstable bytes" in report.violations[0].detail
+
+
+def test_partially_stable_extent_detected():
+    ns = Namespace()
+    meta = ns.create("f", now=0.0)
+    ns.commit_extents(meta.file_id, [ext(0, 4096, 0)], now=1.0)
+    stable = IntervalSet([(0, 2048)])  # only half landed
+    report = check_ordered_writes(ns, stable)
+    assert not report.consistent
+    assert "2048 unstable bytes" in report.violations[0].detail
+
+
+def test_orphan_data_is_not_a_violation():
+    """Stable data without metadata (orphans) is acceptable per §I."""
+    ns = Namespace()
+    sm = SpaceManager(volume_size=1 << 20, num_groups=1)
+    sm.alloc(8192, client_id=0)  # orphan: allocated, never committed
+    stable = IntervalSet([(0, 8192)])  # its data even hit the disk
+    report = check_ordered_writes(ns, stable, sm)
+    assert report.consistent
+    assert report.orphan_bytes == 8192
+
+
+def test_extent_overlap_detected():
+    ns = Namespace()
+    a = ns.create("a", now=0.0)
+    b = ns.create("b", now=0.0)
+    ns.commit_extents(a.file_id, [ext(0, 4096, 0)], now=1.0)
+    ns.commit_extents(b.file_id, [ext(0, 4096, 2048)], now=1.0)  # overlaps a
+    stable = IntervalSet([(0, 8192)])
+    report = check_ordered_writes(ns, stable)
+    assert not report.consistent
+    assert any(v.kind == "extent-overlap" for v in report.violations)

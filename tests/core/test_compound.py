@@ -1,0 +1,113 @@
+"""Tests for the adaptive RPC compound controller (§IV.B)."""
+
+import pytest
+
+from repro.core.compound import CompoundController, CompoundPolicy
+from repro.net.link import Link
+from repro.sim import Environment
+
+
+def test_fixed_degree_never_adapts():
+    env = Environment()
+    link = Link(env)
+    ctrl = CompoundController(env, link, fixed_degree=3)
+    assert ctrl.degree == 3
+    for latency in [0.001, 0.1, 1.0]:
+        ctrl.observe_rpc_latency(latency)
+    env.run(until=10.0)
+    assert ctrl.degree == 3
+    assert ctrl.adjustments == 0
+
+
+def test_fixed_degree_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        CompoundController(env, Link(env), fixed_degree=0)
+
+
+def test_degree_grows_when_uplink_congested():
+    env = Environment()
+    # Slow link: sending anything creates a visible backlog.
+    link = Link(env, bandwidth=1e4, propagation=0.0)
+    policy = CompoundPolicy(max_degree=8, period=0.1, backlog_high=0.001)
+    ctrl = CompoundController(env, link, policy=policy)
+
+    def congestor(env):
+        while True:
+            link.send(5000)  # 0.5 s of serialisation each
+            yield env.timeout(0.05)
+
+    env.process(congestor(env))
+    env.run(until=2.0)
+    assert ctrl.degree > 1
+    assert ctrl.adjustments > 0
+    assert ctrl.history  # (time, degree) trail recorded
+
+
+def test_degree_bounded_by_max():
+    env = Environment()
+    link = Link(env, bandwidth=1e3)
+    policy = CompoundPolicy(max_degree=3, period=0.05)
+    ctrl = CompoundController(env, link, policy=policy)
+
+    def congestor(env):
+        while True:
+            link.send(10_000)
+            yield env.timeout(0.02)
+
+    env.process(congestor(env))
+    env.run(until=5.0)
+    assert ctrl.degree <= 3
+
+
+def test_degree_relaxes_when_quiet():
+    env = Environment()
+    link = Link(env, bandwidth=1e4)
+    policy = CompoundPolicy(max_degree=8, period=0.1)
+    ctrl = CompoundController(env, link, policy=policy)
+
+    def phase(env):
+        # Congest for a while...
+        for _ in range(10):
+            link.send(5000)
+            yield env.timeout(0.05)
+        # ...then go quiet.
+        yield env.timeout(20.0)
+
+    env.process(phase(env))
+    env.run(until=1.0)
+    high = ctrl.degree
+    assert high > 1
+    env.run(until=25.0)
+    assert ctrl.degree == 1  # relaxed back down
+    assert ctrl.degree < high
+
+
+def test_latency_ratio_triggers_growth():
+    """MDS busyness is inferred from commit RPC latency inflation."""
+    env = Environment()
+    link = Link(env)  # fast link: no backlog signal
+    policy = CompoundPolicy(
+        max_degree=8, period=0.1, latency_ratio_high=1.5
+    )
+    ctrl = CompoundController(env, link, policy=policy)
+
+    def observer(env):
+        # Establish a fast baseline, then observe an overloaded MDS.
+        for _ in range(20):
+            ctrl.observe_rpc_latency(0.001)
+            yield env.timeout(0.02)
+        for _ in range(60):
+            ctrl.observe_rpc_latency(0.02)
+            yield env.timeout(0.02)
+
+    env.process(observer(env))
+    env.run(until=3.0)
+    assert ctrl.degree > 1
+
+
+def test_negative_latency_rejected():
+    env = Environment()
+    ctrl = CompoundController(env, Link(env), fixed_degree=1)
+    with pytest.raises(ValueError):
+        ctrl.observe_rpc_latency(-1.0)

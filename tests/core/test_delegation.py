@@ -1,0 +1,124 @@
+"""Tests for the double-space-pool (space delegation)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.delegation import DoubleSpacePool
+from repro.mds.extent import Chunk
+
+
+def test_starts_needing_refill():
+    pool = DoubleSpacePool(chunk_size=1024)
+    assert pool.needs_refill
+    assert pool.free_bytes == 0
+    assert pool.alloc(100) is None
+
+
+def test_local_alloc_is_contiguous():
+    pool = DoubleSpacePool(chunk_size=1024)
+    pool.refill(Chunk(volume_offset=5000, length=1024))
+    offsets = [pool.alloc(100) for _ in range(5)]
+    assert offsets == [5000, 5100, 5200, 5300, 5400]
+    assert pool.local_allocs == 5
+    assert pool.bytes_allocated == 500
+
+
+def test_large_request_not_servable():
+    pool = DoubleSpacePool(chunk_size=1024)
+    assert not pool.can_serve(1025)
+    assert pool.can_serve(1024)
+    assert not pool.can_serve(0)
+    with pytest.raises(ValueError):
+        pool.alloc(2000)
+
+
+def test_swap_to_standby_when_active_exhausted():
+    pool = DoubleSpacePool(chunk_size=1000)
+    pool.refill(Chunk(volume_offset=0, length=1000))
+    pool.refill(Chunk(volume_offset=5000, length=1000))
+    assert not pool.needs_refill
+    a = pool.alloc(800)
+    b = pool.alloc(800)  # does not fit in active's remaining 200: swap
+    assert a == 0
+    assert b == 5000
+    assert pool.swaps == 1
+    assert pool.needs_refill  # standby (old active scraps) is empty
+    assert pool.abandoned == [(800, 200)]
+
+
+def test_alloc_none_when_both_exhausted():
+    pool = DoubleSpacePool(chunk_size=100)
+    pool.refill(Chunk(volume_offset=0, length=100))
+    assert pool.alloc(100) == 0
+    assert pool.alloc(100) is None
+    assert pool.needs_refill
+
+
+def test_refill_prefers_empty_active():
+    pool = DoubleSpacePool(chunk_size=100)
+    pool.refill(Chunk(volume_offset=0, length=100))
+    pool.alloc(100)
+    pool.refill(Chunk(volume_offset=500, length=100))
+    assert pool.alloc(100) == 500
+
+
+def test_spare_chunk_used_at_next_swap():
+    pool = DoubleSpacePool(chunk_size=100)
+    pool.refill(Chunk(volume_offset=0, length=100))
+    pool.refill(Chunk(volume_offset=200, length=100))
+    pool.refill(Chunk(volume_offset=400, length=100))  # both charged: spare
+    a = pool.alloc(100)
+    b = pool.alloc(100)
+    c = pool.alloc(100)  # consumes the spare via swap
+    assert (a, b, c) == (0, 200, 400)
+
+
+def test_drain_returns_all_unused():
+    pool = DoubleSpacePool(chunk_size=1000)
+    pool.refill(Chunk(volume_offset=0, length=1000))
+    pool.refill(Chunk(volume_offset=5000, length=1000))
+    pool.alloc(800)
+    pool.alloc(800)  # swap; abandons (800, 200)
+    leftovers = pool.drain()
+    # Abandoned scrap + remainder of the second chunk.
+    assert sorted(leftovers) == [(800, 200), (5800, 200)]
+    assert pool.free_bytes == 0
+    assert pool.needs_refill
+
+
+def test_drain_includes_spares():
+    pool = DoubleSpacePool(chunk_size=100)
+    pool.refill(Chunk(volume_offset=0, length=100))
+    pool.refill(Chunk(volume_offset=200, length=100))
+    pool.refill(Chunk(volume_offset=400, length=100))
+    leftovers = pool.drain()
+    assert (400, 100) in leftovers
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        DoubleSpacePool(chunk_size=0)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.integers(1, 64), min_size=1, max_size=100))
+def test_pool_never_hands_out_overlapping_space(sizes):
+    """Property: local allocations never overlap, within or across chunks."""
+    pool = DoubleSpacePool(chunk_size=64)
+    handed = []
+    next_chunk = 0
+    for size in sizes:
+        while True:
+            offset = pool.alloc(size)
+            if offset is not None:
+                break
+            pool.refill(Chunk(volume_offset=next_chunk * 1000, length=64))
+            next_chunk += 1
+        for h_off, h_len in handed:
+            assert offset + size <= h_off or offset >= h_off + h_len
+        handed.append((offset, size))
+    # Conservation: allocated + abandoned + drained == delegated.
+    drained = pool.drain()
+    total_returned = sum(ln for _, ln in drained)
+    assert pool.bytes_allocated + total_returned == next_chunk * 64

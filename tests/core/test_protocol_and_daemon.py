@@ -1,0 +1,245 @@
+"""Integration tests: write paths, commit daemons, ordered-writes gating."""
+
+import pytest
+
+from repro.sim import Environment
+from tests.conftest import MiniCluster
+
+
+def test_sync_write_commits_inline(sync_cluster):
+    c = sync_cluster
+
+    def ops(fs):
+        fid = yield from fs.create("f1")
+        yield from fs.write(fid, 0, 4096)
+        return fid
+
+    (fid,) = c.run_ops(ops(c.client))
+    meta = c.namespace.get(fid)
+    assert meta.committed_bytes() == 4096
+    assert c.client.pending_commit_count() == 0
+    # Synchronous mode never instantiates the queue machinery.
+    assert c.client.commit_queue is None
+
+
+def test_sync_write_waits_for_disk_and_commit(sync_cluster):
+    """Sync update latency includes the disk write plus the commit RTT."""
+    c = sync_cluster
+    latencies = []
+
+    def ops(fs, env):
+        fid = yield from fs.create("f1")
+        t0 = env.now
+        yield from fs.write(fid, 0, 4096)
+        latencies.append(c.env.now - t0)
+
+    c.run_ops(ops(c.client, c.env))
+    # Layout-get RTT + 4 KB transfer + commit RTT; well above memory speed
+    # even though the first-ever write lands at offset 0 with no seek.
+    assert latencies[0] > 0.0003
+
+
+def test_delayed_write_returns_before_commit(delayed_cluster):
+    c = delayed_cluster
+    write_done_at = []
+
+    def ops(fs, env):
+        fid = yield from fs.create("f1")
+        t0 = env.now
+        yield from fs.write(fid, 0, 4096)
+        write_done_at.append(env.now - t0)
+        assert c.client.pending_commit_count() == 1
+        yield from fs.fsync(fid)
+        return fid
+
+    (fid,) = c.run_ops(ops(c.client, c.env))
+    # The write returned at memory speed (no disk, no RPC in path).
+    assert write_done_at[0] < 0.0005
+    # After fsync everything is durable at the MDS.
+    assert c.namespace.get(fid).committed_bytes() == 4096
+    assert c.client.pending_commit_count() == 0
+
+
+def test_delayed_commit_happens_without_fsync(delayed_cluster):
+    """Daemons commit in the background even if the app never waits."""
+    c = delayed_cluster
+
+    def ops(fs):
+        fid = yield from fs.create("f1")
+        yield from fs.write(fid, 0, 4096)
+        return fid
+
+    (fid,) = c.run_ops(ops(c.client))
+    assert c.namespace.get(fid).committed_bytes() == 4096
+    assert c.client.daemon_ctx.stats.ops_committed == 1
+
+
+def test_ordered_writes_commit_rpc_after_data_stable(delayed_cluster):
+    """The commit RPC must leave the client only after the data write."""
+    c = delayed_cluster
+    data_done = {}
+
+    def ops(fs):
+        fid = yield from fs.create("f1")
+        yield from fs.write(fid, 0, 4096)
+        rec = c.client.commit_queue.record_for(fid)
+        assert rec is not None
+        ev = rec.data_events[0]
+        ev.callbacks.append(lambda _e: data_done.setdefault("t", c.env.now))
+        yield from fs.fsync(fid)
+        return fid
+
+    c.run_ops(ops(c.client))
+    stats = c.client.daemon_ctx.stats
+    assert stats.rpcs_sent == 1
+    # Commit latency (enqueue -> committed) exceeds the data-write time.
+    assert stats.mean_commit_latency >= 0
+    assert "t" in data_done
+
+
+def test_per_file_dedup_one_rpc_for_many_updates(delegated_cluster):
+    """N updates to one file before checkout produce a single commit op.
+
+    Needs space delegation: local allocation makes back-to-back writes
+    instantaneous, so the commit record is still resident (data not yet
+    stable) when the next update arrives -- the dedup window of §III.A.
+    """
+    c = delegated_cluster
+
+    def ops(fs):
+        fid = yield from fs.create("f1")
+        for i in range(6):
+            yield from fs.write(fid, i * 4096, 4096)
+        yield from fs.fsync(fid)
+        return fid
+
+    (fid,) = c.run_ops(ops(c.client))
+    assert c.namespace.get(fid).committed_bytes() == 6 * 4096
+    # Dedup should have folded several updates into few records.
+    assert c.client.commit_queue.dedup_hits >= 1
+
+
+def test_multiple_files_compound_into_fewer_rpcs(env):
+    c = MiniCluster(
+        env,
+        commit_mode="delayed",
+        fixed_compound_degree=4,
+        delegation_chunk=16 * 1024 * 1024,
+    )
+
+    def ops(fs):
+        fids = []
+        for i in range(8):
+            fid = yield from fs.create(f"f{i}")
+            fids.append(fid)
+        for fid in fids:
+            yield from fs.write(fid, 0, 4096)
+        for fid in fids:
+            yield from fs.fsync(fid)
+
+    c.run_ops(ops(c.client))
+    stats = c.client.daemon_ctx.stats
+    assert stats.ops_committed == 8
+    assert stats.rpcs_sent < 8  # compounding happened
+    assert stats.mean_degree > 1.0
+
+
+def test_read_hits_client_cache_after_write(delayed_cluster):
+    c = delayed_cluster
+
+    def ops(fs):
+        fid = yield from fs.create("f1")
+        yield from fs.write(fid, 0, 4096)
+        hit = yield from fs.read(fid, 0, 4096)
+        return hit
+
+    (hit,) = c.run_ops(ops(c.client))
+    assert hit is True
+    assert c.client.cache.hits == 1
+    assert c.client.rpc.calls_sent >= 1
+
+
+def test_read_miss_goes_to_disk(sync_cluster):
+    c = sync_cluster
+
+    def writer(fs):
+        fid = yield from fs.create("f1")
+        yield from fs.write(fid, 0, 4096)
+        fs.cache.drop_volatile()  # force a miss
+        hit = yield from fs.read(fid, 0, 4096)
+        return hit
+
+    (hit,) = c.run_ops(writer(c.client))
+    assert hit is True
+    assert c.client.read_disk_hits == 1
+
+
+def test_read_of_never_committed_range_is_short(sync_cluster):
+    c = sync_cluster
+
+    def ops(fs):
+        fid = yield from fs.create("f1")
+        fs.cache.drop_volatile()
+        hit = yield from fs.read(fid, 0, 4096)
+        return hit
+
+    (hit,) = c.run_ops(ops(c.client))
+    assert hit is False
+    assert c.client.short_reads == 1
+
+
+def test_unlink_waits_for_pending_commits(delayed_cluster):
+    c = delayed_cluster
+
+    def ops(fs):
+        fid = yield from fs.create("f1")
+        yield from fs.write(fid, 0, 4096)
+        yield from fs.unlink(fid)
+        return fid
+
+    (fid,) = c.run_ops(ops(c.client))
+    assert fid not in c.namespace
+    # The unlinked file's space went back to the allocator.
+    assert c.space.free_bytes == c.space.volume_size
+
+
+def test_stat_roundtrip(sync_cluster):
+    c = sync_cluster
+
+    def ops(fs):
+        fid = yield from fs.create("f1")
+        meta = yield from fs.stat(fid)
+        return meta
+
+    (meta,) = c.run_ops(ops(c.client))
+    assert meta.name == "f1"
+
+
+def test_close_sync_flag_waits(delayed_cluster):
+    c = delayed_cluster
+
+    def ops(fs):
+        fid = yield from fs.create("f1")
+        yield from fs.write(fid, 0, 4096)
+        yield from fs.close(fid, sync=True)
+        return fid
+
+    (fid,) = c.run_ops(ops(c.client))
+    assert c.namespace.get(fid).committed_bytes() == 4096
+    assert c.client.pending_commit_count() == 0
+
+
+def test_shutdown_flushes_and_releases(delegated_cluster):
+    c = delegated_cluster
+
+    def ops(fs):
+        fid = yield from fs.create("f1")
+        yield from fs.write(fid, 0, 4096)
+        yield from fs.shutdown()
+        return fid
+
+    (fid,) = c.run_ops(ops(c.client))
+    assert c.namespace.get(fid).committed_bytes() == 4096
+    # Everything not committed was released: only the 4 KB file remains.
+    assert c.space.free_bytes == c.space.volume_size - 4096
+    assert c.space.uncommitted_bytes() == 0

@@ -1,0 +1,221 @@
+"""Behavioural tests for the NFS3 and PVFS2 baseline models."""
+
+import pytest
+
+from repro.fs import ClusterConfig, Nfs3Cluster, Pvfs2Cluster
+
+
+def make_nfs(num_clients=2):
+    return Nfs3Cluster(
+        ClusterConfig(num_clients=num_clients, commit_mode="synchronous"),
+        seed=3,
+    )
+
+
+def make_pvfs(num_clients=2):
+    return Pvfs2Cluster(
+        ClusterConfig(num_clients=num_clients, commit_mode="synchronous"),
+        seed=3,
+    )
+
+
+def run_ops(cluster, *gens):
+    results = [None] * len(gens)
+
+    def runner(idx, gen):
+        results[idx] = yield from gen
+
+    procs = [
+        cluster.env.process(runner(i, g)) for i, g in enumerate(gens)
+    ]
+    cluster.env.run(until=cluster.env.all_of(procs))
+    return results
+
+
+# -- NFS3 ----------------------------------------------------------------
+
+
+def test_nfs3_write_read_roundtrip():
+    cluster = make_nfs()
+    fs = cluster.client_fs(0)
+
+    def ops():
+        fid = yield from fs.create("a")
+        yield from fs.write(fid, 0, 8192)
+        hit = yield from fs.read(fid, 0, 8192)
+        return (fid, hit)
+
+    ((fid, hit),) = run_ops(cluster, ops())
+    assert hit is True
+    assert cluster.server.requests_processed >= 2
+
+
+def test_nfs3_write_is_buffered_not_durable():
+    """WRITE replies come back before any disk I/O (unstable writes)."""
+    cluster = make_nfs()
+    fs = cluster.client_fs(0)
+
+    def ops():
+        fid = yield from fs.create("a")
+        yield from fs.write(fid, 0, 32 * 1024)
+        return fid
+
+    run_ops(cluster, ops())
+    assert cluster.server.array.ops_served == 0  # nothing flushed yet
+
+
+def test_nfs3_commit_flushes_to_disk():
+    cluster = make_nfs()
+    fs = cluster.client_fs(0)
+
+    def ops():
+        fid = yield from fs.create("a")
+        yield from fs.write(fid, 0, 32 * 1024)
+        yield from fs.fsync(fid)
+        return fid
+
+    run_ops(cluster, ops())
+    # Data flush plus the journal barrier write.
+    assert cluster.server.array.ops_served >= 2
+    assert cluster.server.array.bytes_served >= 32 * 1024
+
+
+def test_nfs3_background_flusher_bounds_dirty_data():
+    cluster = make_nfs()
+    fs = cluster.client_fs(0)
+
+    def ops():
+        fid = yield from fs.create("a")
+        yield from fs.write(fid, 0, 64 * 1024)
+        return fid
+
+    run_ops(cluster, ops())
+    cluster.env.run(until=cluster.env.now + 2.0)  # let the flusher run
+    assert cluster.server.array.bytes_served >= 64 * 1024
+
+
+def test_nfs3_cross_client_read_through_server():
+    cluster = make_nfs()
+    a, b = cluster.client_fs(0), cluster.client_fs(1)
+    box = {}
+
+    def writer():
+        fid = yield from a.create("shared")
+        yield from a.write(fid, 0, 4096)
+        yield from a.fsync(fid)
+        box["fid"] = fid
+
+    run_ops(cluster, writer())
+
+    def reader():
+        hit = yield from b.read(box["fid"], 0, 4096)
+        return hit
+
+    (hit,) = run_ops(cluster, reader())
+    assert hit is True
+
+
+def test_nfs3_unlink_and_stat():
+    cluster = make_nfs()
+    fs = cluster.client_fs(0)
+
+    def ops():
+        fid = yield from fs.create("a")
+        meta = yield from fs.stat(fid)
+        yield from fs.unlink(fid)
+        gone = yield from fs.stat(fid)
+        return meta, gone
+
+    ((meta, gone),) = run_ops(cluster, ops())
+    assert meta is not None and meta.file_id is not None
+    assert gone is None
+
+
+def test_nfs3_shared_nic_serialises_traffic():
+    """Concurrent big writes from two clients share one server NIC."""
+    cluster = make_nfs()
+    a, b = cluster.client_fs(0), cluster.client_fs(1)
+    done = {}
+
+    def writer(tag, fs):
+        fid = yield from fs.create(tag)
+        yield from fs.write(fid, 0, 4 * 1024 * 1024)
+        done[tag] = cluster.env.now
+
+    run_ops(cluster, writer("a", a), writer("b", b))
+    # 8 MB over a 125 MB/s shared link: at least ~64 ms total.
+    assert max(done.values()) > 0.06
+
+
+# -- PVFS2 ----------------------------------------------------------------
+
+
+def test_pvfs2_write_read_roundtrip():
+    cluster = make_pvfs()
+    fs = cluster.client_fs(0)
+
+    def ops():
+        fid = yield from fs.create("a")
+        yield from fs.write(fid, 0, 128 * 1024)
+        hit = yield from fs.read(fid, 0, 128 * 1024)
+        return hit
+
+    (hit,) = run_ops(cluster, ops())
+    assert hit is True
+
+
+def test_pvfs2_write_through_hits_disk():
+    cluster = make_pvfs()
+    fs = cluster.client_fs(0)
+
+    def ops():
+        fid = yield from fs.create("a")
+        yield from fs.write(fid, 0, 32 * 1024)
+        return fid
+
+    run_ops(cluster, ops())
+    # Data landed on the array before the write returned (plus inode).
+    assert cluster.array.bytes_served >= 32 * 1024
+
+
+def test_pvfs2_striping_spreads_large_writes():
+    cluster = make_pvfs(num_clients=3)
+    fs = cluster.client_fs(0)
+
+    def ops():
+        fid = yield from fs.create("big")
+        yield from fs.write(fid, 0, 3 * 1024 * 1024)
+        return fid
+
+    run_ops(cluster, ops())
+    touched = [s for s in cluster.servers if s.requests_processed > 0]
+    assert len(touched) >= 2  # 1 MB stripes hit several data servers
+
+
+def test_pvfs2_fsync_is_noop():
+    cluster = make_pvfs()
+    fs = cluster.client_fs(0)
+
+    def ops():
+        fid = yield from fs.create("a")
+        yield from fs.write(fid, 0, 4096)
+        before = cluster.env.now
+        yield from fs.fsync(fid)
+        return cluster.env.now - before
+
+    (elapsed,) = run_ops(cluster, ops())
+    assert elapsed == 0.0  # write-through: nothing to flush
+
+
+def test_pvfs2_create_costs_multiple_metadata_rtts():
+    cluster = make_pvfs()
+    fs = cluster.client_fs(0)
+
+    def ops():
+        t0 = cluster.env.now
+        yield from fs.create("a")
+        return cluster.env.now - t0
+
+    (elapsed,) = run_ops(cluster, ops())
+    # Three sequential metadata RPCs: at least 6 propagation delays.
+    assert elapsed > 5 * 60e-6

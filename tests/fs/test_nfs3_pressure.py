@@ -1,0 +1,125 @@
+"""NFS3 server behaviour under memory pressure and aged placement."""
+
+import pytest
+
+from repro.fs import ClusterConfig, Nfs3Cluster
+
+
+def make(num_clients=2, **server_kw):
+    cluster = Nfs3Cluster(
+        ClusterConfig(num_clients=num_clients, commit_mode="synchronous"),
+        seed=3,
+    )
+    for key, value in server_kw.items():
+        setattr(cluster.server, key, value)
+    return cluster
+
+
+def run_ops(cluster, *gens):
+    results = [None] * len(gens)
+
+    def runner(idx, gen):
+        results[idx] = yield from gen
+
+    procs = [cluster.env.process(runner(i, g)) for i, g in enumerate(gens)]
+    cluster.env.run(until=cluster.env.all_of(procs))
+    return results
+
+
+def test_write_throttle_forces_stable_writes():
+    cluster = make()
+    cluster.server.dirty_limit = 64 * 1024  # tiny
+    fs = cluster.client_fs(0)
+
+    def ops():
+        fid = yield from fs.create("big")
+        for i in range(8):
+            yield from fs.write(fid, i * 64 * 1024, 64 * 1024)
+        return fid
+
+    run_ops(cluster, ops())
+    # The server could not buffer 512 KB: most of it was force-flushed.
+    assert cluster.server.array.bytes_served >= 256 * 1024
+    assert cluster.server.cache.dirty_bytes <= 2 * 64 * 1024
+
+
+def test_unthrottled_write_stays_buffered():
+    cluster = make()
+    fs = cluster.client_fs(0)
+
+    def ops():
+        fid = yield from fs.create("f")
+        yield from fs.write(fid, 0, 128 * 1024)
+        return fid
+
+    run_ops(cluster, ops())
+    assert cluster.server.array.ops_served == 0
+    assert cluster.server.cache.dirty_bytes == 128 * 1024
+
+
+def test_scattered_files_flush_to_upper_half():
+    cluster = make()
+    fs = cluster.client_fs(0)
+
+    def ops():
+        fid = yield from fs.create("aged")
+        yield from fs.write(fid, 0, 4096, scattered=True)
+        yield from fs.fsync(fid)
+        return fid
+
+    (fid,) = run_ops(cluster, ops())
+    extents = cluster.server._extents[fid]
+    half = cluster.server.volume_size // 2
+    assert all(vol >= half for _f, vol, _l in extents)
+
+
+def test_sequential_files_flush_to_lower_half():
+    cluster = make()
+    fs = cluster.client_fs(0)
+
+    def ops():
+        fid = yield from fs.create("hot")
+        yield from fs.write(fid, 0, 4096)
+        yield from fs.fsync(fid)
+        return fid
+
+    (fid,) = run_ops(cluster, ops())
+    extents = cluster.server._extents[fid]
+    half = cluster.server.volume_size // 2
+    assert all(vol < half for _f, vol, _l in extents)
+
+
+def test_commit_writes_journal_barrier():
+    cluster = make()
+    fs = cluster.client_fs(0)
+
+    def ops():
+        fid = yield from fs.create("f")
+        yield from fs.write(fid, 0, 4096)
+        yield from fs.fsync(fid)
+        return fid
+
+    run_ops(cluster, ops())
+    # Data flush + the 4 KB journal write.
+    assert cluster.server.array.bytes_served == 4096 + 4096
+
+
+def test_journal_slots_rotate_within_region():
+    cluster = make()
+    s = cluster.server
+    slots = [s._next_journal_slot() for _ in range(1000)]
+    assert all(0 <= slot < s._journal_region for slot in slots)
+    assert len(set(slots)) > 1
+
+
+def test_duplicate_create_returns_same_id():
+    cluster = make()
+    fs = cluster.client_fs(0)
+
+    def ops():
+        a = yield from fs.create("same")
+        b = yield from fs.create("same")
+        return a, b
+
+    ((a, b),) = run_ops(cluster, ops())
+    assert a == b

@@ -1,0 +1,120 @@
+"""PVFS2 model details: inode writes, scattered placement, read path."""
+
+import pytest
+
+from repro.fs import ClusterConfig, Pvfs2Cluster
+
+
+def make(num_clients=2):
+    return Pvfs2Cluster(
+        ClusterConfig(num_clients=num_clients, commit_mode="synchronous"),
+        seed=3,
+    )
+
+
+def run_ops(cluster, *gens):
+    results = [None] * len(gens)
+
+    def runner(idx, gen):
+        results[idx] = yield from gen
+
+    procs = [cluster.env.process(runner(i, g)) for i, g in enumerate(gens)]
+    cluster.env.run(until=cluster.env.all_of(procs))
+    return results
+
+
+def test_small_write_pays_inode_update():
+    cluster = make()
+    fs = cluster.client_fs(0)
+
+    def ops():
+        fid = yield from fs.create("obj")
+        yield from fs.write(fid, 0, 32 * 1024)
+        return fid
+
+    run_ops(cluster, ops())
+    # Data write + a 4 KB inode write in the metadata region.
+    assert cluster.array.bytes_served == 32 * 1024 + 4096
+
+
+def test_appended_chunks_skip_inode_update():
+    cluster = make()
+    fs = cluster.client_fs(0)
+
+    def ops():
+        fid = yield from fs.create("obj")
+        yield from fs.write(fid, 0, 32 * 1024)       # inode write
+        yield from fs.write(fid, 32 * 1024, 32 * 1024)  # no inode
+        return fid
+
+    run_ops(cluster, ops())
+    assert cluster.array.bytes_served == 64 * 1024 + 4096
+
+
+def test_read_of_unwritten_chunk_is_short():
+    cluster = make()
+    fs = cluster.client_fs(0)
+
+    def ops():
+        fid = yield from fs.create("obj")
+        ok = yield from fs.read(fid, 0, 4096)
+        return ok
+
+    (ok,) = run_ops(cluster, ops())
+    assert ok is True  # protocol-level success; zero bytes off disk
+    assert cluster.array.ops_served == 0
+
+
+def test_scattered_objects_land_in_upper_partition_half():
+    cluster = make()
+    fs = cluster.client_fs(0)
+
+    def ops():
+        fid = yield from fs.create("aged")
+        yield from fs.write(fid, 0, 4096, scattered=True)
+        return fid
+
+    (fid,) = run_ops(cluster, ops())
+    server = next(s for s in cluster.servers if s.requests_processed)
+    (volume, _length) = server._chunks[(fid, 0)]
+    half = server._partition_start + server._partition_size // 2
+    assert volume >= half
+
+
+def test_server_cache_serves_rereads():
+    cluster = make()
+    fs = cluster.client_fs(0)
+
+    def ops():
+        fid = yield from fs.create("obj")
+        yield from fs.write(fid, 0, 32 * 1024)
+        ops_before = cluster.array.ops_served
+        yield from fs.read(fid, 0, 32 * 1024)
+        return cluster.array.ops_served - ops_before
+
+    (extra_disk_ops,) = run_ops(cluster, ops())
+    assert extra_disk_ops == 0  # served from the data server's cache
+
+
+def test_clients_have_no_real_cache():
+    cluster = make()
+    assert cluster.client_fs(0).cache.capacity == 4096  # stand-in only
+
+
+def test_collective_flag_set():
+    cluster = make()
+    assert cluster.client_fs(0).supports_collective_io is True
+
+
+def test_unlink_and_stat_meta_ops():
+    cluster = make()
+    fs = cluster.client_fs(0)
+
+    def ops():
+        fid = yield from fs.create("obj")
+        size = yield from fs.stat(fid)
+        yield from fs.unlink(fid)
+        return size
+
+    (size,) = run_ops(cluster, ops())
+    assert size == 0

@@ -1,0 +1,74 @@
+"""Live-cluster behaviour of the two adaptive controllers (§IV.B)."""
+
+import pytest
+
+from repro.fs import ClusterConfig, RedbudCluster
+from repro.mds.server import MdsParameters
+from repro.workloads import NpbBtIoWorkload, XcdnWorkload
+
+
+def test_pool_grows_under_xcdn_and_shrinks_after():
+    config = ClusterConfig.space_delegation_config(num_clients=3)
+    cluster = RedbudCluster(config, seed=9)
+    wl = XcdnWorkload(file_size=32 * 1024, seed_files_per_client=8,
+                      threads_per_client=8)
+    cluster.run_workload(wl, duration=2.0, warmup=0.2)
+    pool = cluster.clients[0].thread_pool
+    peak = max(threads for _t, threads, _q in pool.samples)
+    assert peak > 1
+    assert pool.spawns > 1
+    # After the workload stops, the pool drains back to one thread.
+    cluster.settle(3.0)
+    assert pool.thread_count == 1
+    assert pool.retires >= peak - 1
+
+
+def test_pool_stays_at_one_for_npb():
+    config = ClusterConfig.space_delegation_config(num_clients=3)
+    cluster = RedbudCluster(config, seed=9)
+    wl = NpbBtIoWorkload(slab_size=256 * 1024, compute_time=0.01,
+                         steps_per_barrier=2)
+    cluster.run_workload(wl, duration=2.0, warmup=0.2)
+    for client in cluster.clients:
+        threads = [t for _, t, _ in client.thread_pool.samples]
+        assert max(threads) <= 2
+        assert min(threads) == 1
+
+
+def test_adaptive_degree_rises_when_mds_is_slow():
+    """With a single overloaded MDS daemon, commit RPC latency inflates
+    and the adaptive controller raises the compound degree."""
+    config = ClusterConfig.space_delegation_config(
+        num_clients=7,
+        mds=MdsParameters(num_daemons=1, svc_message=200e-6),
+    )
+    cluster = RedbudCluster(config, seed=9)
+    wl = XcdnWorkload(file_size=32 * 1024, seed_files_per_client=8,
+                      threads_per_client=8)
+    cluster.run_workload(wl, duration=2.5, warmup=0.2)
+    degrees = [c.compound.degree for c in cluster.clients]
+    assert max(degrees) > 1, degrees
+    mean_used = max(
+        c.daemon_ctx.stats.mean_degree for c in cluster.clients
+    )
+    assert mean_used > 1.05
+
+
+def test_fixed_degree_reduces_rpcs_proportionally():
+    def commit_rpcs(degree):
+        config = ClusterConfig.space_delegation_config(
+            num_clients=3, fixed_compound_degree=degree
+        )
+        cluster = RedbudCluster(config, seed=9)
+        wl = XcdnWorkload(file_size=32 * 1024, seed_files_per_client=8,
+                          threads_per_client=8)
+        cluster.run_workload(wl, duration=1.5, warmup=0.2)
+        stats = [c.daemon_ctx.stats for c in cluster.clients]
+        ops = sum(s.ops_committed for s in stats)
+        rpcs = sum(s.rpcs_sent for s in stats)
+        return ops, rpcs
+
+    ops1, rpcs1 = commit_rpcs(1)
+    ops6, rpcs6 = commit_rpcs(6)
+    assert rpcs1 == ops1  # degree 1: one RPC per op
+    assert rpcs6 < 0.55 * ops6  # compounding took effect

@@ -1,0 +1,172 @@
+"""Unit and property-based tests for the B+ tree."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mds.btree import BPlusTree
+
+
+def test_empty_tree():
+    tree = BPlusTree()
+    assert len(tree) == 0
+    assert not tree
+    assert tree.get(1) is None
+    assert tree.get(1, "d") == "d"
+    assert 1 not in tree
+    assert tree.floor_item(10) is None
+    assert tree.ceiling_item(10) is None
+    with pytest.raises(KeyError):
+        tree.min_item()
+    with pytest.raises(KeyError):
+        tree.max_item()
+    with pytest.raises(KeyError):
+        tree.delete(1)
+
+
+def test_order_validation():
+    with pytest.raises(ValueError):
+        BPlusTree(order=2)
+
+
+def test_insert_get_small():
+    tree = BPlusTree(order=4)
+    for k in [5, 1, 9, 3, 7]:
+        tree.insert(k, k * 10)
+    assert len(tree) == 5
+    for k in [5, 1, 9, 3, 7]:
+        assert tree.get(k) == k * 10
+        assert k in tree
+    assert tree.get(2) is None
+    tree.check_invariants()
+
+
+def test_insert_replace():
+    tree = BPlusTree()
+    tree.insert(1, "a")
+    tree.insert(1, "b")
+    assert len(tree) == 1
+    assert tree.get(1) == "b"
+
+
+def test_ordered_iteration():
+    tree = BPlusTree(order=4)
+    keys = [8, 3, 5, 1, 9, 2, 7, 6, 4, 0]
+    for k in keys:
+        tree.insert(k, str(k))
+    assert [k for k, _ in tree.items()] == sorted(keys)
+    assert list(tree.keys()) == sorted(keys)
+
+
+def test_bounded_iteration():
+    tree = BPlusTree(order=4)
+    for k in range(20):
+        tree.insert(k, k)
+    assert [k for k, _ in tree.items(lo=5, hi=9)] == [5, 6, 7, 8]
+    assert [k for k, _ in tree.items(lo=18)] == [18, 19]
+    assert [k for k, _ in tree.items(hi=2)] == [0, 1]
+
+
+def test_min_max():
+    tree = BPlusTree(order=4)
+    for k in [5, 2, 8, 1, 9]:
+        tree.insert(k, k)
+    assert tree.min_item() == (1, 1)
+    assert tree.max_item() == (9, 9)
+
+
+def test_floor_ceiling():
+    tree = BPlusTree(order=4)
+    for k in [10, 20, 30, 40]:
+        tree.insert(k, k)
+    assert tree.floor_item(25) == (20, 20)
+    assert tree.floor_item(20) == (20, 20)
+    assert tree.floor_item(5) is None
+    assert tree.ceiling_item(25) == (30, 30)
+    assert tree.ceiling_item(30) == (30, 30)
+    assert tree.ceiling_item(45) is None
+
+
+def test_delete_returns_value():
+    tree = BPlusTree(order=4)
+    for k in range(10):
+        tree.insert(k, k * 2)
+    assert tree.delete(5) == 10
+    assert 5 not in tree
+    assert len(tree) == 9
+    tree.check_invariants()
+
+
+def test_delete_all_in_random_order():
+    tree = BPlusTree(order=4)
+    keys = [(k * 37) % 101 for k in range(101)]
+    for k in keys:
+        tree.insert(k, k)
+    tree.check_invariants()
+    for k in [(k * 53) % 101 for k in range(101)]:
+        tree.delete(k)
+        tree.check_invariants()
+    assert len(tree) == 0
+
+
+def test_large_sequential_insert_delete():
+    tree = BPlusTree(order=8)
+    n = 1000
+    for k in range(n):
+        tree.insert(k, k)
+    tree.check_invariants()
+    assert len(tree) == n
+    for k in range(0, n, 2):
+        tree.delete(k)
+    tree.check_invariants()
+    assert len(tree) == n // 2
+    assert [k for k, _ in tree.items(hi=10)] == [1, 3, 5, 7, 9]
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["insert", "delete", "get"]),
+            st.integers(0, 100),
+        ),
+        max_size=120,
+    ),
+    st.sampled_from([3, 4, 5, 8, 32]),
+)
+def test_btree_matches_dict_model(ops, order):
+    tree = BPlusTree(order=order)
+    model = {}
+    for op, key in ops:
+        if op == "insert":
+            tree.insert(key, key * 3)
+            model[key] = key * 3
+        elif op == "delete":
+            if key in model:
+                assert tree.delete(key) == model.pop(key)
+            else:
+                with pytest.raises(KeyError):
+                    tree.delete(key)
+        else:
+            assert tree.get(key) == model.get(key)
+    assert len(tree) == len(model)
+    assert list(tree.items()) == sorted(model.items())
+    tree.check_invariants()
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.sets(st.integers(0, 1000), min_size=1, max_size=80),
+    st.integers(-5, 1005),
+    st.sampled_from([3, 4, 16]),
+)
+def test_floor_ceiling_match_model(keys, probe, order):
+    tree = BPlusTree(order=order)
+    for k in keys:
+        tree.insert(k, -k)
+    below = [k for k in keys if k <= probe]
+    above = [k for k in keys if k >= probe]
+    expected_floor = (max(below), -max(below)) if below else None
+    expected_ceiling = (min(above), -min(above)) if above else None
+    assert tree.floor_item(probe) == expected_floor
+    assert tree.ceiling_item(probe) == expected_ceiling

@@ -1,0 +1,87 @@
+"""Tests for the FIFO link model."""
+
+import pytest
+
+from repro.net.link import Link
+from repro.sim import Environment
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+def test_delivery_time_single_message(env):
+    link = Link(env, bandwidth=1e6, propagation=0.001, per_message_overhead=0)
+    times = []
+
+    def proc(env):
+        yield link.send(1000)  # 1ms serialisation + 1ms propagation
+        times.append(env.now)
+
+    env.process(proc(env))
+    env.run()
+    assert times[0] == pytest.approx(0.002)
+
+
+def test_fifo_queueing_delays_second_message(env):
+    link = Link(env, bandwidth=1e6, propagation=0.0, per_message_overhead=0)
+    times = {}
+
+    def sender(env, tag):
+        yield link.send(1000)
+        times[tag] = env.now
+
+    env.process(sender(env, "a"))
+    env.process(sender(env, "b"))
+    env.run()
+    assert times["a"] == pytest.approx(0.001)
+    assert times["b"] == pytest.approx(0.002)  # queued behind a
+    assert link.stats.total_queue_delay == pytest.approx(0.001)
+
+
+def test_idle_link_resets_queue(env):
+    link = Link(env, bandwidth=1e6, propagation=0.0, per_message_overhead=0)
+    times = []
+
+    def proc(env):
+        yield link.send(1000)
+        yield env.timeout(1.0)
+        yield link.send(1000)
+        times.append(env.now)
+
+    env.process(proc(env))
+    env.run()
+    assert times[0] == pytest.approx(1.002)
+    assert link.stats.max_queue_delay == 0.0
+
+
+def test_per_message_overhead_counted(env):
+    link = Link(env, bandwidth=1e6, propagation=0.0, per_message_overhead=100)
+    link.send(0)
+    assert link.stats.bytes == 100
+
+
+def test_backlog(env):
+    link = Link(env, bandwidth=1e3, propagation=0.0, per_message_overhead=0)
+    link.send(1000)  # 1 second of serialisation
+    assert link.backlog == pytest.approx(1.0)
+
+
+def test_stats_accumulate(env):
+    link = Link(env, bandwidth=1e6, propagation=0.0, per_message_overhead=10)
+    for _ in range(5):
+        link.send(90)
+    assert link.stats.messages == 5
+    assert link.stats.bytes == 500
+    assert link.stats.mean_queue_delay > 0
+
+
+def test_validation(env):
+    with pytest.raises(ValueError):
+        Link(env, bandwidth=0)
+    with pytest.raises(ValueError):
+        Link(env, propagation=-1)
+    link = Link(env)
+    with pytest.raises(ValueError):
+        link.send(-1)

@@ -1,0 +1,141 @@
+"""Tests for RPC transport, inbox delivery and compound sizing."""
+
+import pytest
+
+from repro.net.link import Link
+from repro.net.messages import (
+    MESSAGE_HEADER_BYTES,
+    OP_BODY_BYTES,
+    CommitOp,
+    CommitPayload,
+    CreatePayload,
+    RpcMessage,
+)
+from repro.net.rpc import RpcClient, RpcServerPort, RpcTransport
+from repro.sim import Environment
+from repro.sim.events import Event
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+def make_stack(env):
+    up = Link(env, bandwidth=125e6, propagation=50e-6)
+    down = Link(env, bandwidth=125e6, propagation=50e-6)
+    port = RpcServerPort(env)
+    transport = RpcTransport(env, up, down, port)
+    client = RpcClient(env, client_id=0, transport=transport)
+    return client, port, down
+
+
+def echo_server(env, port, down):
+    """A trivial server replying 'ack' to everything instantly."""
+    while True:
+        msg = yield port.next_request()
+        port.reply(msg, ("ack", msg.kind), down)
+
+
+def test_round_trip(env):
+    client, port, down = make_stack(env)
+    env.process(echo_server(env, port, down))
+    results = []
+
+    def caller(env):
+        reply = yield client.call("create", CreatePayload(name="f1"))
+        results.append((env.now, reply))
+
+    env.process(caller(env))
+    env.run(until=1.0)
+    assert results
+    t, reply = results[0]
+    assert reply == ("ack", "create")
+    assert t > 100e-6  # at least two propagation delays
+
+
+def test_inbox_queues_when_no_daemon(env):
+    client, port, _ = make_stack(env)
+
+    def caller(env):
+        client.call("create", CreatePayload(name="f1"))
+        yield env.timeout(0.01)
+
+    env.process(caller(env))
+    env.run()
+    assert port.queue_length == 1
+    assert port.requests_received == 1
+
+
+def test_compound_message_sizes(env):
+    ops = [CommitOp(file_id=i, extents=[]) for i in range(3)]
+    msg = RpcMessage(
+        kind="commit",
+        payload=CommitPayload(ops=ops),
+        client_id=0,
+        reply_event=Event(env),
+        send_time=0.0,
+    )
+    assert msg.op_count() == 3
+    assert msg.request_size() == MESSAGE_HEADER_BYTES + 3 * OP_BODY_BYTES
+
+
+def test_compound_cheaper_than_singles(env):
+    """Three ops in one RPC must use fewer wire bytes than three RPCs."""
+
+    def msg(ops):
+        return RpcMessage(
+            kind="commit",
+            payload=CommitPayload(
+                ops=[CommitOp(file_id=i, extents=[]) for i in range(ops)]
+            ),
+            client_id=0,
+            reply_event=Event(env),
+            send_time=0.0,
+        )
+
+    compound = msg(3).request_size() + msg(3).reply_size()
+    singles = 3 * (msg(1).request_size() + msg(1).reply_size())
+    assert compound < singles
+
+
+def test_client_op_accounting(env):
+    client, port, down = make_stack(env)
+    env.process(echo_server(env, port, down))
+
+    def caller(env):
+        yield client.call(
+            "commit",
+            CommitPayload(ops=[CommitOp(file_id=i, extents=[]) for i in range(4)]),
+        )
+        yield client.call("create", CreatePayload(name="x"))
+
+    env.process(caller(env))
+    env.run(until=1.0)
+    assert client.calls_sent == 2
+    assert client.ops_sent == 5
+
+
+def test_multiple_clients_share_inbox(env):
+    up1 = Link(env)
+    up2 = Link(env)
+    down = Link(env)
+    port = RpcServerPort(env)
+    c1 = RpcClient(env, 1, RpcTransport(env, up1, down, port))
+    c2 = RpcClient(env, 2, RpcTransport(env, up2, down, port))
+    served = []
+
+    def server(env):
+        while True:
+            msg = yield port.next_request()
+            served.append(msg.client_id)
+            port.reply(msg, None, down)
+
+    def caller(env, client):
+        yield client.call("create", CreatePayload(name=f"f{client.client_id}"))
+
+    env.process(server(env))
+    env.process(caller(env, c1))
+    env.process(caller(env, c2))
+    env.run(until=1.0)
+    assert sorted(served) == [1, 2]

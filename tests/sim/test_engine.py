@@ -1,0 +1,177 @@
+"""Tests for the event calendar and run loop."""
+
+import pytest
+
+from repro.sim import Environment, SimulationError
+
+
+def test_clock_starts_at_initial_time():
+    assert Environment().now == 0.0
+    assert Environment(initial_time=5.0).now == 5.0
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+    seen = []
+
+    def proc(env):
+        yield env.timeout(2.5)
+        seen.append(env.now)
+        yield env.timeout(1.0)
+        seen.append(env.now)
+
+    env.process(proc(env))
+    env.run()
+    assert seen == [2.5, 3.5]
+
+
+def test_zero_delay_timeout_runs_same_time():
+    env = Environment()
+    seen = []
+
+    def proc(env):
+        yield env.timeout(0)
+        seen.append(env.now)
+
+    env.process(proc(env))
+    env.run()
+    assert seen == [0.0]
+
+
+def test_run_until_time_stops_clock_exactly():
+    env = Environment()
+
+    def proc(env):
+        while True:
+            yield env.timeout(1.0)
+
+    env.process(proc(env))
+    env.run(until=10.0)
+    assert env.now == 10.0
+
+
+def test_run_until_past_time_raises():
+    env = Environment(initial_time=5.0)
+    with pytest.raises(ValueError):
+        env.run(until=1.0)
+
+
+def test_run_until_event_returns_value():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(3.0)
+        return "done"
+
+    p = env.process(proc(env))
+    assert env.run(until=p) == "done"
+    assert env.now == 3.0
+
+
+def test_run_until_already_processed_event():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(1.0)
+        return 7
+
+    p = env.process(proc(env))
+    env.run()
+    assert env.run(until=p) == 7
+
+
+def test_run_until_unreachable_event_raises():
+    env = Environment()
+    never = env.event()
+    with pytest.raises(SimulationError):
+        env.run(until=never)
+
+
+def test_events_fire_in_time_order():
+    env = Environment()
+    order = []
+
+    def proc(env, delay, tag):
+        yield env.timeout(delay)
+        order.append(tag)
+
+    env.process(proc(env, 3, "c"))
+    env.process(proc(env, 1, "a"))
+    env.process(proc(env, 2, "b"))
+    env.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_fifo_order_on_time_ties():
+    env = Environment()
+    order = []
+
+    def proc(env, tag):
+        yield env.timeout(1.0)
+        order.append(tag)
+
+    for tag in "abcd":
+        env.process(proc(env, tag))
+    env.run()
+    assert order == list("abcd")
+
+
+def test_unhandled_process_failure_raises_simulation_error():
+    env = Environment()
+
+    def bad(env):
+        yield env.timeout(1.0)
+        raise ValueError("boom")
+
+    env.process(bad(env))
+    with pytest.raises(SimulationError):
+        env.run()
+
+
+def test_failure_caught_by_waiter_does_not_escape():
+    env = Environment()
+    caught = []
+
+    def bad(env):
+        yield env.timeout(1.0)
+        raise ValueError("boom")
+
+    def watcher(env, target):
+        try:
+            yield target
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    target = env.process(bad(env))
+    env.process(watcher(env, target))
+    env.run()
+    assert caught == ["boom"]
+
+
+def test_peek_reports_next_event_time():
+    env = Environment()
+    assert env.peek() == float("inf")
+    env.process(iter_timeout(env, 4.0))
+    assert env.peek() == 0.0  # process initialisation event
+
+
+def iter_timeout(env, delay):
+    yield env.timeout(delay)
+
+
+def test_deterministic_event_sequence_is_replayable():
+    def build():
+        env = Environment()
+        trace = []
+
+        def proc(env, tag, delay):
+            for _ in range(3):
+                yield env.timeout(delay)
+                trace.append((round(env.now, 9), tag))
+
+        env.process(proc(env, "x", 0.7))
+        env.process(proc(env, "y", 1.1))
+        env.run()
+        return trace
+
+    assert build() == build()

@@ -1,0 +1,130 @@
+"""Property-based tests of the event-calendar ordering laws."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Environment
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    st.lists(
+        st.floats(0.0, 100.0, allow_nan=False, allow_infinity=False),
+        min_size=1,
+        max_size=40,
+    )
+)
+def test_timeouts_fire_in_nondecreasing_time_order(delays):
+    env = Environment()
+    fired = []
+
+    def proc(env, delay):
+        yield env.timeout(delay)
+        fired.append(env.now)
+
+    for delay in delays:
+        env.process(proc(env, delay))
+    env.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+    assert fired == sorted(delays)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(st.integers(0, 5), min_size=1, max_size=20),
+)
+def test_equal_time_events_fire_in_creation_order(tags):
+    """FIFO among simultaneous events, regardless of how many."""
+    env = Environment()
+    fired = []
+
+    def proc(env, tag):
+        yield env.timeout(1.0)
+        fired.append(tag)
+
+    for tag in tags:
+        env.process(proc(env, tag))
+    env.run()
+    assert fired == tags
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.floats(0.0, 10.0, allow_nan=False), st.integers(0, 99)),
+        min_size=1,
+        max_size=30,
+    ),
+    st.floats(0.1, 11.0, allow_nan=False),
+)
+def test_run_until_time_only_fires_due_events(items, horizon):
+    env = Environment()
+    fired = []
+
+    def proc(env, delay, tag):
+        yield env.timeout(delay)
+        fired.append((delay, tag))
+
+    for delay, tag in items:
+        env.process(proc(env, delay, tag))
+    env.run(until=horizon)
+    assert env.now == horizon
+    expected = sorted(
+        (d, t) for d, t in items if d < horizon
+    )
+    assert sorted(fired) == expected
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.floats(0.001, 5.0, allow_nan=False), min_size=1,
+                max_size=15))
+def test_nested_process_joins_compose(delays):
+    """A chain of processes each joining the next totals the sum."""
+    env = Environment()
+
+    def chain(env, remaining):
+        if not remaining:
+            return 0
+        yield env.timeout(remaining[0])
+        total = yield env.process(chain(env, remaining[1:]))
+        return total + remaining[0]
+
+    import pytest
+
+    root = env.process(chain(env, delays))
+    result = env.run(until=root)
+    # Summation order differs between the sim (reverse) and sum().
+    assert result == pytest.approx(sum(delays), rel=1e-12)
+    assert env.now == pytest.approx(sum(delays), rel=1e-12)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(st.floats(0.01, 2.0, allow_nan=False), min_size=2, max_size=10)
+)
+def test_all_of_completes_at_max_any_of_at_min(delays):
+    env = Environment()
+    times = {}
+
+    def waiter(env, kind):
+        events = [env.timeout(d) for d in delays]
+        if kind == "all":
+            yield env.all_of(events)
+        else:
+            yield env.any_of(events)
+        times[kind] = env.now
+
+    env.process(waiter(env, "all"))
+    env.run()
+    env2 = Environment()
+
+    def waiter2(env):
+        events = [env.timeout(d) for d in delays]
+        yield env.any_of(events)
+        times["any"] = env.now
+
+    env2.process(waiter2(env2))
+    env2.run()
+    assert times["all"] == max(delays)
+    assert times["any"] == min(delays)

@@ -1,0 +1,74 @@
+"""Tests for trace collection and seek analysis."""
+
+from repro.storage.blktrace import BlkTrace, SeekAnalysis
+
+
+def rec(trace, time, start, seek, queued=1):
+    trace.record(
+        time=time,
+        op="write",
+        start=start,
+        length=4096,
+        seek_distance=seek,
+        client_id=0,
+        queued=queued,
+    )
+
+
+def test_empty_trace_analysis():
+    analysis = BlkTrace().analyze()
+    assert analysis.dispatches == 0
+    assert analysis.seek_fraction == 0.0
+    assert analysis.mean_run_length == 0.0
+
+
+def test_series_alignment():
+    t = BlkTrace()
+    rec(t, 1.0, 100, 0)
+    rec(t, 2.0, 200, 100)
+    times, starts = t.series()
+    assert list(times) == [1.0, 2.0]
+    assert list(starts) == [100.0, 200.0]
+
+
+def test_all_sequential():
+    t = BlkTrace()
+    for i in range(10):
+        rec(t, float(i), i * 4096, 0)
+    a = t.analyze()
+    assert a.dispatches == 10
+    assert a.seeks == 0
+    assert a.seek_fraction == 0.0
+    assert a.sequential_runs == 1
+    assert a.mean_run_length == 10.0
+
+
+def test_all_seeks():
+    t = BlkTrace()
+    for i in range(10):
+        rec(t, float(i), i * 1_000_000, 500_000)
+    a = t.analyze()
+    assert a.seeks == 10
+    assert a.seek_fraction == 1.0
+    assert a.sequential_runs == 10
+    assert a.mean_run_length == 1.0
+
+
+def test_mixed_runs():
+    t = BlkTrace()
+    # seek, seq, seq | seek, seq | seek
+    seeks = [100, 0, 0, 100, 0, 100]
+    for i, s in enumerate(seeks):
+        rec(t, float(i), i * 4096, s)
+    a = t.analyze()
+    assert a.sequential_runs == 3
+    assert a.mean_run_length == 2.0
+    assert a.total_seek_distance == 300
+    assert a.max_seek_distance == 100
+
+
+def test_to_rows_shape():
+    t = BlkTrace()
+    rec(t, 1.5, 4096, 42)
+    rows = t.to_rows()
+    assert rows == [(1.5, "write", 4096, 4096, 42, 0)]

@@ -1,0 +1,88 @@
+"""Properties of the rotated RAID-0 striping model."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.disk import DiskParameters
+
+
+def make_params(num_spindles=8, stripe=256 * 1024):
+    return DiskParameters(num_spindles=num_spindles, stripe=stripe)
+
+
+def test_row_places_one_stripe_per_spindle():
+    """Rotation permutes spindles within a row -- never doubles up."""
+    p = make_params(num_spindles=8)
+    row_bytes = p.stripe * p.num_spindles
+    for row in range(64):
+        spindles = [
+            p.spindle_of(row * row_bytes + i * p.stripe) for i in range(8)
+        ]
+        assert sorted(spindles) == list(range(8)), f"row {row}"
+
+
+def test_power_of_two_chunks_do_not_pin_one_spindle():
+    """The pathology rotation exists to prevent: 16 MB-aligned starts."""
+    p = make_params(num_spindles=8)
+    chunk = 16 * 1024 * 1024
+    spindles = {p.spindle_of(k * chunk) for k in range(64)}
+    assert len(spindles) >= 4
+
+
+def test_spindle_local_contiguous_for_sequential_stream():
+    """A logically sequential stream is physically sequential on every
+    spindle it touches."""
+    p = make_params(num_spindles=4, stripe=1024)
+    last_local_end = {}
+    for addr in range(0, 64 * 1024, 1024):
+        spindle = p.spindle_of(addr)
+        local = p.spindle_local(addr)
+        if spindle in last_local_end:
+            assert local == last_local_end[spindle], f"gap at {addr}"
+        last_local_end[spindle] = p.spindle_local(addr + 1024 - 1) + 1
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    addr=st.integers(0, (1 << 36) - 1),
+    n=st.sampled_from([1, 2, 4, 8, 16]),
+    stripe_kb=st.sampled_from([64, 256, 1024]),
+)
+def test_spindle_of_in_range_and_stable(addr, n, stripe_kb):
+    p = DiskParameters(num_spindles=n, stripe=stripe_kb * 1024)
+    s = p.spindle_of(addr)
+    assert 0 <= s < n
+    assert p.spindle_of(addr) == s  # deterministic
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    row=st.integers(0, 1 << 20),
+    n=st.sampled_from([2, 4, 8, 16]),
+)
+def test_local_addresses_partition_per_spindle(row, n):
+    """Within a row, the n stripes map to n distinct spindles and all
+    share the same local row offset."""
+    p = DiskParameters(num_spindles=n, stripe=4096)
+    row_bytes = p.stripe * n
+    base = row * row_bytes
+    locals_seen = set()
+    spindles_seen = set()
+    for i in range(n):
+        addr = base + i * p.stripe
+        spindles_seen.add(p.spindle_of(addr))
+        locals_seen.add(p.spindle_local(addr))
+    assert spindles_seen == set(range(n))
+    assert locals_seen == {row * p.stripe}
+
+
+def test_seek_time_properties():
+    p = make_params()
+    assert p.seek_time(0) == 0.0
+    assert p.seek_time(-5) == 0.0
+    small = p.seek_time(4096)
+    large = p.seek_time(p.volume_size)
+    assert 0 < small < large
+    # sqrt concavity: quadrupling distance less than doubles extra time.
+    d = p.volume_size // 16
+    assert p.seek_time(4 * d) < 2 * p.seek_time(d) + p.seek_base

@@ -1,0 +1,70 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import WORKLOADS, build_parser, main
+
+
+def test_parser_builds_and_validates():
+    parser = build_parser()
+    args = parser.parse_args(
+        ["run", "--system", "nfs3", "--workload", "varmail"]
+    )
+    assert args.system == "nfs3"
+    assert args.workload == "varmail"
+    with pytest.raises(SystemExit):
+        parser.parse_args(["run", "--system", "gfs"])
+    with pytest.raises(SystemExit):
+        parser.parse_args([])
+
+
+def test_all_workload_factories_construct():
+    for name, factory in WORKLOADS.items():
+        workload = factory()
+        assert workload.threads_per_client >= 1, name
+
+
+def test_figures_command(capsys):
+    assert main(["figures"]) == 0
+    out = capsys.readouterr().out
+    assert "fig4" in out and "bench_fig4_merge_ratio.py" in out
+
+
+def test_run_command_small(capsys):
+    code = main(
+        [
+            "run",
+            "--system",
+            "redbud-delayed",
+            "--workload",
+            "xcdn-32K",
+            "--clients",
+            "2",
+            "--duration",
+            "0.5",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "ops/s" in out
+    assert "merge_ratio" in out
+
+
+def test_crash_command_delayed_consistent(capsys):
+    code = main(
+        [
+            "crash",
+            "--mode",
+            "delayed",
+            "--clients",
+            "2",
+            "--workload",
+            "xcdn-32K",
+            "--at",
+            "0.15",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "CONSISTENT" in out
+    assert "recovery reclaimed" in out

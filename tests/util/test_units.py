@@ -1,0 +1,21 @@
+"""Tests for formatting helpers."""
+
+from repro.util import fmt_bytes, fmt_rate, fmt_time
+
+
+def test_fmt_bytes():
+    assert fmt_bytes(512) == "512B"
+    assert fmt_bytes(32 * 1024) == "32.0KB"
+    assert fmt_bytes(1024 * 1024) == "1.0MB"
+    assert fmt_bytes(3 * 1024**3) == "3.0GB"
+
+
+def test_fmt_rate():
+    assert fmt_rate(1024 * 1024) == "1.00MB/s"
+    assert fmt_rate(2.5 * 1024 * 1024) == "2.50MB/s"
+
+
+def test_fmt_time():
+    assert fmt_time(0.0000005).endswith("us")
+    assert fmt_time(0.005).endswith("ms")
+    assert fmt_time(2.0) == "2.00s"

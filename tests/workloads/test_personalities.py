@@ -1,0 +1,90 @@
+"""Behavioural tests: each personality produces its signature op mix."""
+
+import pytest
+
+from repro.fs import ClusterConfig, RedbudCluster
+from repro.workloads import (
+    FileserverWorkload,
+    NpbBtIoWorkload,
+    VarmailWorkload,
+    WebproxyWorkload,
+    XcdnWorkload,
+)
+
+
+def run(workload, duration=1.0, num_clients=2, commit_mode="delayed"):
+    config = ClusterConfig(
+        num_clients=num_clients,
+        commit_mode=commit_mode,
+        space_delegation=(commit_mode == "delayed"),
+    )
+    cluster = RedbudCluster(config, seed=5)
+    return cluster.run_workload(workload, duration=duration, warmup=0.1)
+
+
+def test_xcdn_mix_mostly_writes():
+    res = run(XcdnWorkload(file_size=32 * 1024, seed_files_per_client=8,
+                           write_fraction=0.65))
+    assert res.ops_completed > 50
+    # Ingest is create+write+close; reads are the remainder.
+    assert res.metrics.count("write") > res.metrics.count("read")
+    assert res.metrics.count("create") == res.metrics.count("write")
+    assert res.metrics.bytes_for("write") > 0
+
+
+def test_xcdn_read_only_variant():
+    res = run(XcdnWorkload(file_size=32 * 1024, write_fraction=0.0,
+                           seed_files_per_client=8))
+    assert res.metrics.count("write") == 0
+    assert res.metrics.count("read") > 0
+
+
+def test_xcdn_validation():
+    with pytest.raises(ValueError):
+        XcdnWorkload(write_fraction=1.5)
+    with pytest.raises(ValueError):
+        XcdnWorkload(file_size=0)
+
+
+def test_varmail_is_fsync_heavy():
+    res = run(VarmailWorkload(seed_files_per_client=8))
+    assert res.metrics.count("fsync") > 0
+    # Every compose fsyncs; read-append flowlets fsync again.
+    assert res.metrics.count("fsync") >= res.metrics.count("create")
+    assert res.metrics.count("read") > 0
+
+
+def test_webproxy_read_biased():
+    res = run(WebproxyWorkload(seed_files_per_client=10, reads_per_write=5))
+    assert res.metrics.count("read") > 2 * res.metrics.count("write")
+
+
+def test_fileserver_has_full_op_mix():
+    res = run(FileserverWorkload(seed_files_per_client=10), duration=2.0)
+    kinds = set(res.metrics.op_types())
+    assert {"create", "write", "read", "append"} <= kinds
+    assert res.metrics.count("delete") + res.metrics.count("stat") > 0
+
+
+def test_npb_writes_grow_file_sequentially():
+    res = run(NpbBtIoWorkload(slab_size=256 * 1024, compute_time=0.002,
+                              steps_per_barrier=2))
+    assert res.metrics.count("write") > 0
+    assert res.metrics.count("barrier") > 0
+    assert res.metrics.count("verify-read") > 0
+    # One rank per client: threads_per_client must be 1.
+    assert NpbBtIoWorkload().threads_per_client == 1
+
+
+def test_npb_verify_reads_are_correct_after_commit():
+    """Conflict reads (§V.C) must succeed -- served from cache/committed."""
+    res = run(NpbBtIoWorkload(slab_size=128 * 1024, compute_time=0.001,
+                              steps_per_barrier=2), duration=1.5)
+    # verify() reads everything back; no read should be 'short'.
+    assert res.metrics.count("verify-read") > 0
+
+
+def test_workloads_run_on_sync_mode_too():
+    res = run(XcdnWorkload(file_size=32 * 1024, seed_files_per_client=5),
+              commit_mode="synchronous", duration=0.5)
+    assert res.ops_completed > 0
