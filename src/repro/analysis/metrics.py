@@ -57,9 +57,14 @@ class OpMetrics:
         self._latencies.setdefault(op, []).append(latency)
         self._counts[op] = self._counts.get(op, 0) + 1
         self._bytes[op] = self._bytes.get(op, 0) + nbytes
-        if self.start_time is None:
-            self.start_time = now - latency
-        self.end_time = now
+        # The window start is the earliest op *start*, not the start of
+        # whichever op happened to complete first: a long op finishing
+        # late can still have begun before every earlier completion.
+        start = now - latency
+        if self.start_time is None or start < self.start_time:
+            self.start_time = start
+        if self.end_time is None or now > self.end_time:
+            self.end_time = now
 
     # -- aggregate views ----------------------------------------------------
 

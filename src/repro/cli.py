@@ -4,8 +4,22 @@ Commands
 --------
 ``run``
     Run one workload on one system and print the result summary.
+    ``--json`` emits the result as a JSON object instead of tables;
+    ``--trace PATH`` additionally records a causal trace (Chrome
+    ``trace_event`` JSON, Perfetto-loadable).
 ``compare``
     Run one workload across all four Fig. 3 systems, normalised.
+    Accepts ``--json`` and ``--trace PATH`` too (one trace file per
+    system, the system name suffixed to the path stem).
+``trace``
+    Run one workload with full causal tracing and export the per-update
+    span trees (``--format chrome`` for Perfetto, ``jsonl`` for grep);
+    prints a plain-text span summary and the count of complete
+    enqueue->merge->compound->commit->dispatch chains.
+``stats``
+    Run one workload with the metrics registry enabled and print every
+    counter/gauge/histogram (queue depths, merge ratio, compound
+    degrees, daemon utilisation, delegation hit-rate...).
 ``figures``
     List the benchmark modules that regenerate the paper's figures.
 ``crash``
@@ -17,13 +31,17 @@ Examples
 ::
 
     python -m repro run --system redbud-delayed --workload xcdn-32K
+    python -m repro run --system nfs3 --json
     python -m repro compare --workload varmail --duration 3
+    python -m repro trace --system redbud-delayed --out t.json
+    python -m repro stats --system redbud-delayed --workload varmail
     python -m repro crash --at 0.4 --mode unordered
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import typing as _t
 
@@ -78,12 +96,89 @@ def _metric(workload_name: str):
     return lambda r: r.ops_per_second
 
 
+def _scalar_extras(extras: _t.Dict[str, _t.Any]) -> _t.Dict[str, _t.Any]:
+    """Keep only JSON-friendly scalar extras (drop objects/samples)."""
+    return {
+        k: v
+        for k, v in extras.items()
+        if isinstance(v, (int, float, str, bool))
+    }
+
+
+def _result_dict(result: _t.Any) -> _t.Dict[str, _t.Any]:
+    latency = result.latency()
+    return {
+        "system": result.system,
+        "workload": result.workload,
+        "duration": result.duration,
+        "ops_completed": result.ops_completed,
+        "ops_per_second": result.ops_per_second,
+        "bytes_per_second": result.bytes_per_second,
+        "latency": {
+            "count": latency.count,
+            "mean": latency.mean,
+            "p50": latency.p50,
+            "p95": latency.p95,
+            "p99": latency.p99,
+            "max": latency.max,
+        },
+        "extras": _scalar_extras(result.extras),
+    }
+
+
+def _settle(cluster: _t.Any) -> None:
+    """Let in-flight background commits land so trace chains complete."""
+    if hasattr(cluster, "settle"):
+        cluster.settle()
+
+
+def _trace_path(path: str, system: str) -> str:
+    """``t.json`` + ``nfs3`` -> ``t-nfs3.json`` (for compare --trace)."""
+    stem, dot, ext = path.rpartition(".")
+    if not dot:
+        return f"{path}-{system}"
+    return f"{stem}-{system}.{ext}"
+
+
+def _check_writable(path: str) -> _t.Optional[str]:
+    """Fail before the (long) simulation, not at export time."""
+    import os
+
+    parent = os.path.dirname(path) or "."
+    if not os.path.isdir(parent):
+        return f"error: trace output directory does not exist: {parent}"
+    return None
+
+
+def _build_obs(args: argparse.Namespace) -> _t.Optional[_t.Any]:
+    if not getattr(args, "trace", None):
+        return None
+    from repro.obs import Instrumentation
+
+    return Instrumentation()
+
+
 def cmd_run(args: argparse.Namespace) -> int:
+    if args.trace and (err := _check_writable(args.trace)):
+        print(err, file=sys.stderr)
+        return 2
+    obs = _build_obs(args)
     cluster = build_cluster(
-        args.system, num_clients=args.clients, seed=args.seed
+        args.system, num_clients=args.clients, seed=args.seed, obs=obs
     )
     workload = WORKLOADS[args.workload]()
     result = cluster.run_workload(workload, duration=args.duration)
+    if obs is not None:
+        from repro.obs import write_chrome_trace
+
+        _settle(cluster)
+        count = write_chrome_trace(obs.tracer, args.trace)
+        print(
+            f"wrote {count} trace events to {args.trace}", file=sys.stderr
+        )
+    if args.json:
+        print(json.dumps(_result_dict(result), indent=2, sort_keys=True))
+        return 0
     table = Table(
         ["metric", "value"],
         title=f"{args.system} / {args.workload} "
@@ -108,17 +203,46 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
+    if args.trace and (err := _check_writable(args.trace)):
+        print(err, file=sys.stderr)
+        return 2
     metric = _metric(args.workload)
     results = {}
     for system in SYSTEMS:
+        obs = _build_obs(args)
         cluster = build_cluster(
-            system, num_clients=args.clients, seed=args.seed
+            system, num_clients=args.clients, seed=args.seed, obs=obs
         )
         results[system] = cluster.run_workload(
             WORKLOADS[args.workload](), duration=args.duration
         )
-        print(f"  {system}: done", file=sys.stderr)
+        if obs is not None:
+            from repro.obs import write_chrome_trace
+
+            _settle(cluster)
+            path = _trace_path(args.trace, system)
+            count = write_chrome_trace(obs.tracer, path)
+            print(
+                f"  {system}: done ({count} trace events -> {path})",
+                file=sys.stderr,
+            )
+        else:
+            print(f"  {system}: done", file=sys.stderr)
     base = metric(results["redbud-original"])
+    if args.json:
+        payload = {
+            "workload": args.workload,
+            "baseline": "redbud-original",
+            "systems": {
+                system: dict(
+                    _result_dict(r),
+                    normalised=metric(r) / base if base else 0.0,
+                )
+                for system, r in results.items()
+            },
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
     table = Table(
         ["system", "ops/s", "throughput", "normalised"],
         title=f"{args.workload}: all systems (normalised to original Redbud)",
@@ -132,6 +256,62 @@ def cmd_compare(args: argparse.Namespace) -> int:
             metric(r) / base if base else 0.0,
         )
     table.print()
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import (
+        Instrumentation,
+        complete_chains,
+        trace_summary,
+        write_chrome_trace,
+        write_jsonl,
+    )
+
+    if err := _check_writable(args.out):
+        print(err, file=sys.stderr)
+        return 2
+    obs = Instrumentation()
+    cluster = build_cluster(
+        args.system, num_clients=args.clients, seed=args.seed, obs=obs
+    )
+    workload = WORKLOADS[args.workload]()
+    cluster.run_workload(workload, duration=args.duration)
+    # Let background daemons drain so in-flight updates finish their
+    # enqueue->dispatch chains before export.
+    _settle(cluster)
+    if args.format == "chrome":
+        count = write_chrome_trace(obs.tracer, args.out)
+    else:
+        count = write_jsonl(obs.tracer, args.out)
+    print(trace_summary(obs.tracer))
+    print(f"wrote {count} {args.format} records to {args.out}")
+    # A delayed-commit run that produced no complete causal chain means
+    # the instrumentation broke; flag it.
+    if args.system == "redbud-delayed" and not complete_chains(obs.tracer):
+        return 1
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    from repro.obs import Instrumentation, stats_table
+
+    obs = Instrumentation()
+    cluster = build_cluster(
+        args.system, num_clients=args.clients, seed=args.seed, obs=obs
+    )
+    workload = WORKLOADS[args.workload]()
+    cluster.run_workload(workload, duration=args.duration)
+    _settle(cluster)
+    if args.json:
+        print(
+            json.dumps(obs.registry.snapshot(), indent=2, sort_keys=True)
+        )
+        return 0
+    stats_table(
+        obs.registry,
+        title=f"{args.system} / {args.workload} metrics",
+    ).print()
     return 0
 
 
@@ -223,11 +403,58 @@ def build_parser() -> argparse.ArgumentParser:
     p_run = sub.add_parser("run", help="run one workload on one system")
     common(p_run)
     p_run.add_argument("--system", choices=SYSTEMS, default="redbud-delayed")
+    p_run.add_argument(
+        "--json", action="store_true", help="emit the result as JSON"
+    )
+    p_run.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="also record a causal trace (Chrome trace_event JSON)",
+    )
     p_run.set_defaults(func=cmd_run)
 
     p_cmp = sub.add_parser("compare", help="run one workload on all systems")
     common(p_cmp)
+    p_cmp.add_argument(
+        "--json", action="store_true", help="emit the results as JSON"
+    )
+    p_cmp.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="record one causal trace per system (name suffixed)",
+    )
     p_cmp.set_defaults(func=cmd_compare)
+
+    p_trace = sub.add_parser(
+        "trace", help="run with causal tracing and export span trees"
+    )
+    common(p_trace)
+    p_trace.add_argument(
+        "--system", choices=SYSTEMS, default="redbud-delayed"
+    )
+    p_trace.add_argument(
+        "--out", default="trace.json", help="output path (default %(default)s)"
+    )
+    p_trace.add_argument(
+        "--format",
+        choices=("chrome", "jsonl"),
+        default="chrome",
+        help="chrome: Perfetto-loadable trace_event JSON; jsonl: one "
+        "span/instant per line",
+    )
+    p_trace.set_defaults(func=cmd_trace)
+
+    p_stats = sub.add_parser(
+        "stats", help="run with metrics and print the registry"
+    )
+    common(p_stats)
+    p_stats.add_argument(
+        "--system", choices=SYSTEMS, default="redbud-delayed"
+    )
+    p_stats.add_argument(
+        "--json", action="store_true", help="emit the snapshot as JSON"
+    )
+    p_stats.set_defaults(func=cmd_stats)
 
     p_fig = sub.add_parser("figures", help="list figure benches")
     p_fig.set_defaults(func=cmd_figures)

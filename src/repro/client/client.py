@@ -80,6 +80,7 @@ class RedbudClient(FileSystemAPI):
         fixed_compound_degree: _t.Optional[int] = None,
         device_id: int = 0,
         dirty_limit: int = 64 * 1024 * 1024,
+        obs: _t.Optional[_t.Any] = None,
     ) -> None:
         self.env = env
         self.client_id = client_id
@@ -89,6 +90,9 @@ class RedbudClient(FileSystemAPI):
         self.commit_mode = commit_mode
         self.delegation = delegation
         self.device_id = device_id
+        #: Observability bundle (``repro.obs.Instrumentation``) or None.
+        self.obs = obs
+        self._node = f"client-{client_id}"
 
         self.commit_queue: _t.Optional[CommitQueue] = None
         self.thread_pool: _t.Optional[AdaptiveCommitThreadPool] = None
@@ -98,13 +102,18 @@ class RedbudClient(FileSystemAPI):
         needs_queue = commit_mode in ("delayed", "unordered")
         if needs_queue:
             self.commit_queue = CommitQueue(
-                env, capacity=commit_queue_capacity
+                env,
+                capacity=commit_queue_capacity,
+                obs=obs,
+                node=self._node,
             )
             self.compound = CompoundController(
                 env,
                 uplink=rpc.transport.uplink,
                 policy=compound_policy,
                 fixed_degree=fixed_compound_degree,
+                obs=obs,
+                node=self._node,
             )
             self.daemon_ctx = CommitDaemonContext(
                 env,
@@ -112,13 +121,15 @@ class RedbudClient(FileSystemAPI):
                 rpc,
                 self.compound,
                 on_committed=self._on_record_committed,
+                obs=obs,
+                node=self._node,
             )
             self.thread_pool = AdaptiveCommitThreadPool(
                 env, self.daemon_ctx, policy=thread_pool_policy
             )
 
         self.protocol: CommitProtocol = make_protocol(
-            commit_mode, env, rpc, self.commit_queue
+            commit_mode, env, rpc, self.commit_queue, obs=obs, node=self._node
         )
 
         #: All not-yet-committed records per file (fsync waits on these).
@@ -145,6 +156,10 @@ class RedbudClient(FileSystemAPI):
         self.bytes_read = 0
         self.read_disk_hits = 0
         self.short_reads = 0
+        #: Space-acquisition split: delegated-pool hits vs. layout RPCs
+        #: (the §IV.A delegation hit-rate; always counted, tracing or not).
+        self.space_local_allocs = 0
+        self.space_rpc_allocs = 0
 
     # ------------------------------------------------------------------
     # FileSystemAPI
@@ -165,6 +180,24 @@ class RedbudClient(FileSystemAPI):
             raise ValueError(f"write length must be positive, got {length}")
         self.writes += 1
         self.bytes_written += length
+
+        # Causal trace: one update id and one root span per write call.
+        update_id: _t.Optional[int] = None
+        update_span = None
+        if self.obs is not None:
+            tracer = self.obs.tracer
+            update_id = tracer.new_update()
+            update_span = tracer.begin(
+                "update",
+                "client",
+                node=self._node,
+                actor="app",
+                update_ids=(update_id,),
+                file_id=file_id,
+                offset=offset,
+                length=length,
+            )
+            self.obs.registry.counter("client.updates").inc()
 
         # Dirty-pages throttle: block while the cache holds too much
         # un-persisted data (writeback backpressure, as in the kernel).
@@ -205,6 +238,7 @@ class RedbudClient(FileSystemAPI):
                     seg_len,
                     file_id,
                     sync=sync_write,
+                    trace_update=update_id,
                 )
                 event.callbacks.append(
                     lambda _ev, e=extent, so=seg_off, sl=seg_len: (
@@ -213,13 +247,33 @@ class RedbudClient(FileSystemAPI):
                         )
                     )
                 )
+                if self.obs is not None:
+                    # Open a writepage span closed by the completion
+                    # callback (recording only -- cannot perturb order).
+                    tracer = self.obs.tracer
+                    wp_span = tracer.begin(
+                        "writepage",
+                        "client",
+                        node=self._node,
+                        actor="writeback",
+                        parent=update_span.span_id,
+                        update_ids=(update_id,),
+                        start=extent.volume_offset + seg_off,
+                        length=seg_len,
+                        sync=sync_write,
+                    )
+                    event.callbacks.append(
+                        lambda _ev, s=wp_span: tracer.end(s)
+                    )
                 data_events.append(event)
 
         record = yield from self.protocol.finish_update(
-            file_id, extents, data_events
+            file_id, extents, data_events, update_id=update_id
         )
         if record is not None:
             self._pending_records.setdefault(file_id, set()).add(record)
+        if update_span is not None:
+            self.obs.tracer.end(update_span)
 
     def read(self, file_id: int, offset: int, length: int) -> _t.Generator:
         if length <= 0:
@@ -295,6 +349,7 @@ class RedbudClient(FileSystemAPI):
             and self.delegation is not None
             and self.delegation.can_serve(length)
         ):
+            self.space_local_allocs += 1
             volume_offset = yield from self._delegated_alloc(length)
             extent = Extent(
                 file_offset=offset,
@@ -305,6 +360,7 @@ class RedbudClient(FileSystemAPI):
             self._maybe_background_refill()
             return [extent]
 
+        self.space_rpc_allocs += 1
         reply = yield self.rpc.call(
             "layout_get",
             LayoutGetPayload(

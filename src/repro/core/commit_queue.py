@@ -31,12 +31,20 @@ class CommitQueue:
     """FIFO of per-file commit records with dedup and stable-checkout."""
 
     def __init__(
-        self, env: "Environment", capacity: int = 4096
+        self,
+        env: "Environment",
+        capacity: int = 4096,
+        obs: _t.Optional[_t.Any] = None,
+        node: str = "",
     ) -> None:
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
         self.env = env
         self.capacity = capacity
+        #: Observability bundle (``repro.obs.Instrumentation``) or None.
+        self.obs = obs
+        #: Node label for spans ("client-3"); cosmetic.
+        self.node = node
         self._records: _t.List[CommitRecord] = []
         self._by_file: _t.Dict[int, CommitRecord] = {}
         self._waiting_gets: _t.List[Event] = []
@@ -59,6 +67,7 @@ class CommitQueue:
         extents: _t.List[Extent],
         data_events: _t.List[Event],
         require_data_stable: bool = True,
+        update_id: _t.Optional[int] = None,
     ) -> CommitRecord:
         """Insert a commit request, deduplicating per file.
 
@@ -66,12 +75,29 @@ class CommitQueue:
         should have checked :meth:`has_room` / yielded
         :meth:`wait_for_room` first; inserting over capacity is allowed
         (a single in-flight op per thread may overshoot slightly).
+        ``update_id`` tags the record with the originating logical
+        update for causal tracing (None when tracing is off).
         """
         self.inserts += 1
         resident = self._by_file.get(file_id)
         if resident is not None and not resident.checked_out:
             resident.absorb(extents, data_events)
             self.dedup_hits += 1
+            if update_id is not None:
+                resident.trace_ids += (update_id,)
+            if self.obs is not None:
+                self.obs.tracer.instant(
+                    "commit_merge",
+                    "queue",
+                    node=self.node,
+                    actor="commit-queue",
+                    update_ids=resident.trace_ids,
+                    file_id=file_id,
+                    merged_update=update_id,
+                )
+                if resident.trace_span is not None:
+                    resident.trace_span.update_ids = resident.trace_ids
+                self.obs.registry.counter("commit_queue.merges").inc()
             self._notify_stability(resident, data_events)
             return resident
 
@@ -82,6 +108,17 @@ class CommitQueue:
             data_events,
             require_data_stable=require_data_stable,
         )
+        if update_id is not None:
+            record.trace_ids = (update_id,)
+        if self.obs is not None:
+            record.trace_span = self.obs.tracer.begin(
+                "commit_queued",
+                "queue",
+                node=self.node,
+                actor="commit-queue",
+                update_ids=record.trace_ids,
+                file_id=file_id,
+            )
         self._records.append(record)
         self._by_file[file_id] = record
         self.peak_length = max(self.peak_length, len(self._records))
@@ -112,6 +149,12 @@ class CommitQueue:
                 record.checked_out = True
                 del self._by_file[record.file_id]
                 batch.append(record)
+                if self.obs is not None and record.trace_span is not None:
+                    self.obs.tracer.end(
+                        record.trace_span,
+                        extents=len(record.extents),
+                        merged_updates=len(record.trace_ids),
+                    )
             else:
                 remaining.append(record)
         if batch:

@@ -52,6 +52,8 @@ class CompoundController:
         uplink: Link,
         policy: CompoundPolicy = CompoundPolicy(),
         fixed_degree: _t.Optional[int] = None,
+        obs: _t.Optional[_t.Any] = None,
+        node: str = "",
     ) -> None:
         if fixed_degree is not None and fixed_degree <= 0:
             raise ValueError(f"fixed_degree must be positive: {fixed_degree}")
@@ -59,6 +61,9 @@ class CompoundController:
         self.uplink = uplink
         self.policy = policy
         self.fixed_degree = fixed_degree
+        #: Observability bundle (``repro.obs.Instrumentation``) or None.
+        self.obs = obs
+        self.node = node
         self._degree = fixed_degree if fixed_degree is not None else 1
         self._latency_ewma: _t.Optional[float] = None
         self._latency_baseline: _t.Optional[float] = None
@@ -112,3 +117,13 @@ class CompoundController:
             if self._degree != old:
                 self.adjustments += 1
                 self.history.append((self.env.now, self._degree))
+                if self.obs is not None:
+                    self.obs.tracer.instant(
+                        "compound_degree",
+                        "daemon",
+                        node=self.node,
+                        actor="compound-controller",
+                        degree=self._degree,
+                        old=old,
+                    )
+                    self.obs.registry.counter("compound.adjustments").inc()

@@ -63,6 +63,8 @@ class CommitDaemonContext:
         rpc: RpcClient,
         controller: CompoundController,
         on_committed: _t.Optional[_t.Callable[[CommitRecord], None]] = None,
+        obs: _t.Optional[_t.Any] = None,
+        node: str = "",
     ) -> None:
         self.env = env
         self.queue = queue
@@ -70,6 +72,9 @@ class CommitDaemonContext:
         self.controller = controller
         self.on_committed = on_committed
         self.stats = CommitDaemonStats()
+        #: Observability bundle (``repro.obs.Instrumentation``) or None.
+        self.obs = obs
+        self.node = node
 
 
 class DaemonState:
@@ -99,19 +104,33 @@ def commit_daemon(
         if not batch:
             continue  # Another daemon won the race.
 
+        batch_trace_ids = tuple(
+            uid for record in batch for uid in record.trace_ids
+        )
+        if ctx.obs is not None:
+            ctx.obs.tracer.instant(
+                "compound_assembly",
+                "daemon",
+                node=ctx.node,
+                actor="commit-daemon",
+                update_ids=batch_trace_ids,
+                degree=len(batch),
+                files=[record.file_id for record in batch],
+            )
         payload = CommitPayload(
             ops=[
                 CommitOp(
                     file_id=record.file_id,
                     extents=record.extents,
                     enqueue_time=record.enqueue_time,
+                    trace_ids=record.trace_ids,
                 )
                 for record in batch
             ]
         )
         sent_at = env.now
         try:
-            yield ctx.rpc.call("commit", payload)
+            yield ctx.rpc.call("commit", payload, trace_ids=batch_trace_ids)
         except Interrupt:
             # Retire requested mid-RPC; the reply is lost to this daemon
             # but the MDS applied the commit.  Treat records as committed.
@@ -131,9 +150,18 @@ def _finish_batch(
     ctx.stats.degree_histogram[degree] = (
         ctx.stats.degree_histogram.get(degree, 0) + 1
     )
+    if ctx.obs is not None:
+        reg = ctx.obs.registry
+        reg.counter("commit.rpcs").inc()
+        reg.histogram("commit.compound_degree").observe(degree)
     for record in batch:
         ctx.stats.ops_committed += 1
         ctx.stats.total_commit_latency += ctx.env.now - record.enqueue_time
+        if ctx.obs is not None:
+            ctx.obs.registry.counter("commit.ops_committed").inc()
+            ctx.obs.registry.histogram("commit.latency").observe(
+                ctx.env.now - record.enqueue_time
+            )
         record.committed_event.succeed()
         if ctx.on_committed is not None:
             ctx.on_committed(record)

@@ -45,11 +45,14 @@ class CommitProtocol:
         file_id: int,
         extents: _t.List[Extent],
         data_events: _t.List[Event],
+        update_id: _t.Optional[int] = None,
     ) -> _t.Generator:
         """Generator completing the update per the protocol's rules.
 
         Returns (via StopIteration) the :class:`CommitRecord` tracking
         the commit, or ``None`` if the commit already happened inline.
+        ``update_id`` is the logical update's causal-trace id (None when
+        tracing is off); it tags every downstream stage.
         """
         raise NotImplementedError
 
@@ -60,9 +63,17 @@ class CommitProtocol:
 class SynchronousCommitProtocol(CommitProtocol):
     """Ordered writes on the application's critical path."""
 
-    def __init__(self, env: "Environment", rpc: RpcClient) -> None:
+    def __init__(
+        self,
+        env: "Environment",
+        rpc: RpcClient,
+        obs: _t.Optional[_t.Any] = None,
+        node: str = "",
+    ) -> None:
         self.env = env
         self.rpc = rpc
+        self.obs = obs
+        self.node = node
         self.commits_sent = 0
 
     def finish_update(
@@ -70,10 +81,24 @@ class SynchronousCommitProtocol(CommitProtocol):
         file_id: int,
         extents: _t.List[Extent],
         data_events: _t.List[Event],
+        update_id: _t.Optional[int] = None,
     ) -> _t.Generator:
+        trace_ids = (update_id,) if update_id is not None else ()
         # Step 2: wait for local write completion (the barrier of Fig. 1a).
+        wait_span = None
+        if self.obs is not None:
+            wait_span = self.obs.tracer.begin(
+                "sync_wait_data",
+                "client",
+                node=self.node,
+                actor="app",
+                update_ids=trace_ids,
+                file_id=file_id,
+            )
         for event in data_events:
             yield event
+        if wait_span is not None:
+            self.obs.tracer.end(wait_span)
         # Steps 3-4: send the commit RPC and wait for the reply.
         payload = CommitPayload(
             ops=[
@@ -81,10 +106,11 @@ class SynchronousCommitProtocol(CommitProtocol):
                     file_id=file_id,
                     extents=extents,
                     enqueue_time=self.env.now,
+                    trace_ids=trace_ids,
                 )
             ]
         )
-        yield self.rpc.call("commit", payload)
+        yield self.rpc.call("commit", payload, trace_ids=trace_ids)
         self.commits_sent += 1
         return None
 
@@ -103,6 +129,7 @@ class DelayedCommitProtocol(CommitProtocol):
         file_id: int,
         extents: _t.List[Extent],
         data_events: _t.List[Event],
+        update_id: _t.Optional[int] = None,
     ) -> _t.Generator:
         # Backpressure: a full commit queue blocks the application (the
         # bound models finite client memory for pending commits).
@@ -113,6 +140,7 @@ class DelayedCommitProtocol(CommitProtocol):
             extents,
             data_events,
             require_data_stable=self.require_data_stable,
+            update_id=update_id,
         )
         # Step 3: return immediately; the daemons take it from here.
         return record
@@ -133,10 +161,12 @@ def make_protocol(
     env: "Environment",
     rpc: RpcClient,
     queue: _t.Optional[CommitQueue],
+    obs: _t.Optional[_t.Any] = None,
+    node: str = "",
 ) -> CommitProtocol:
     """Factory mapping a mode name to its protocol strategy."""
     if mode == "synchronous":
-        return SynchronousCommitProtocol(env, rpc)
+        return SynchronousCommitProtocol(env, rpc, obs=obs, node=node)
     if mode == "delayed":
         if queue is None:
             raise ValueError("delayed commit requires a commit queue")

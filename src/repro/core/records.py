@@ -37,6 +37,8 @@ class CommitRecord:
         "committed_event",
         "checked_out",
         "require_data_stable",
+        "trace_ids",
+        "trace_span",
     )
 
     def __init__(
@@ -57,6 +59,11 @@ class CommitRecord:
         self.checked_out = False
         #: False only in the deliberately-broken "unordered" control mode.
         self.require_data_stable = require_data_stable
+        #: Observability: ids of the logical updates merged into this
+        #: record, and the open ``commit_queued`` span (both unused --
+        #: empty/None -- when tracing is off).
+        self.trace_ids: _t.Tuple[int, ...] = ()
+        self.trace_span: _t.Optional[_t.Any] = None
 
     @property
     def data_stable(self) -> bool:

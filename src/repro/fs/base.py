@@ -56,9 +56,19 @@ class BaseCluster:
 
     system_name = "base"
 
-    def __init__(self, env: Environment, seed: int = 0) -> None:
+    def __init__(
+        self,
+        env: Environment,
+        seed: int = 0,
+        obs: _t.Optional[_t.Any] = None,
+    ) -> None:
         self.env = env
         self.root_rng = StreamRNG(seed)
+        #: Observability bundle (``repro.obs.Instrumentation``) or None.
+        #: Attaching binds the tracer clock and engine probe to ``env``.
+        self.obs = obs
+        if obs is not None:
+            obs.attach(env)
 
     # -- subclass surface ------------------------------------------------------
 

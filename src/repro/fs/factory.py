@@ -23,12 +23,15 @@ def build_cluster(
     system: str,
     num_clients: int = 7,
     seed: int = 0,
+    obs: _t.Optional[_t.Any] = None,
     **config_kw: _t.Any,
 ) -> BaseCluster:
     """Build a ready-to-run cluster for one of the Fig. 3 systems.
 
     ``redbud-delayed`` enables both delayed commit and space delegation
     (the full paper configuration); ``redbud-original`` is synchronous.
+    ``obs`` is an optional :class:`repro.obs.Instrumentation` bundle;
+    when given, the cluster traces causal spans and publishes metrics.
     """
     if system == "pvfs2":
         return Pvfs2Cluster(
@@ -38,6 +41,7 @@ def build_cluster(
                 **config_kw,
             ),
             seed=seed,
+            obs=obs,
         )
     if system == "nfs3":
         return Nfs3Cluster(
@@ -47,6 +51,7 @@ def build_cluster(
                 **config_kw,
             ),
             seed=seed,
+            obs=obs,
         )
     if system == "redbud-original":
         return RedbudCluster(
@@ -54,6 +59,7 @@ def build_cluster(
                 num_clients=num_clients, **config_kw
             ),
             seed=seed,
+            obs=obs,
         )
     if system == "redbud-delayed":
         return RedbudCluster(
@@ -61,5 +67,6 @@ def build_cluster(
                 num_clients=num_clients, **config_kw
             ),
             seed=seed,
+            obs=obs,
         )
     raise ValueError(f"unknown system {system!r}; pick from {SYSTEMS}")

@@ -341,8 +341,13 @@ class Nfs3Cluster(BaseCluster):
 
     system_name = "nfs3"
 
-    def __init__(self, config: ClusterConfig, seed: int = 0) -> None:
-        super().__init__(Environment(), seed=seed)
+    def __init__(
+        self,
+        config: ClusterConfig,
+        seed: int = 0,
+        obs: _t.Optional[_t.Any] = None,
+    ) -> None:
+        super().__init__(Environment(), seed=seed, obs=obs)
         self.config = config
         env = self.env
 
@@ -381,6 +386,7 @@ class Nfs3Cluster(BaseCluster):
                         env, self.server_uplink, self.server_downlink,
                         self.port,
                     ),
+                    obs=obs,
                 ),
                 cache_capacity=config.client_cache_capacity,
             )

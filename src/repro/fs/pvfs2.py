@@ -344,8 +344,9 @@ class Pvfs2Cluster(BaseCluster):
         seed: int = 0,
         num_data_servers: _t.Optional[int] = None,
         stripe_size: int = 1024 * 1024,
+        obs: _t.Optional[_t.Any] = None,
     ) -> None:
-        super().__init__(Environment(), seed=seed)
+        super().__init__(Environment(), seed=seed, obs=obs)
         self.config = config
         env = self.env
         n_servers = num_data_servers or config.num_clients
@@ -376,12 +377,14 @@ class Pvfs2Cluster(BaseCluster):
                 RpcTransport(
                     env, self.meta.uplink, self.meta.downlink, self.meta.port
                 ),
+                obs=obs,
             )
             data_rpcs = [
                 RpcClient(
                     env,
                     cid,
                     RpcTransport(env, s.uplink, s.downlink, s.port),
+                    obs=obs,
                 )
                 for s in self.servers
             ]

@@ -37,8 +37,13 @@ class RedbudCluster(BaseCluster):
 
     system_name = "redbud"
 
-    def __init__(self, config: ClusterConfig, seed: int = 0) -> None:
-        super().__init__(Environment(), seed=seed)
+    def __init__(
+        self,
+        config: ClusterConfig,
+        seed: int = 0,
+        obs: _t.Optional[_t.Any] = None,
+    ) -> None:
+        super().__init__(Environment(), seed=seed, obs=obs)
         import dataclasses
 
         # The MDS must hand out chunks of the configured size on the
@@ -59,6 +64,7 @@ class RedbudCluster(BaseCluster):
             config.disk,
             self.root_rng.stream("disk"),
             trace=self.blktrace,
+            obs=obs,
         )
         self.namespace = Namespace()
         self.space = SpaceManager(
@@ -90,7 +96,10 @@ class RedbudCluster(BaseCluster):
             self.uplinks.append(uplink)
             downlinks[cid] = downlink
             rpc = RpcClient(
-                env, cid, RpcTransport(env, uplink, downlink, self.port)
+                env,
+                cid,
+                RpcTransport(env, uplink, downlink, self.port),
+                obs=obs,
             )
             delegation = (
                 DoubleSpacePool(chunk_size=config.delegation_chunk)
@@ -101,7 +110,7 @@ class RedbudCluster(BaseCluster):
                 env,
                 cid,
                 rpc,
-                BlockDevice(env, cid, self.array),
+                BlockDevice(env, cid, self.array, obs=obs),
                 cache=PageCache(capacity=config.client_cache_capacity),
                 commit_mode=config.commit_mode,
                 delegation=delegation,
@@ -110,6 +119,7 @@ class RedbudCluster(BaseCluster):
                 compound_policy=config.compound,
                 fixed_compound_degree=config.fixed_compound_degree,
                 dirty_limit=config.dirty_limit,
+                obs=obs,
             )
             self.clients.append(client)
 
@@ -120,7 +130,12 @@ class RedbudCluster(BaseCluster):
             self.space,
             self.port,
             downlinks,
+            obs=obs,
         )
+        if obs is not None:
+            from repro.obs.instrument import register_redbud_gauges
+
+            register_redbud_gauges(obs, self)
 
     # -- BaseCluster surface ------------------------------------------------------
 

@@ -92,6 +92,7 @@ class MetadataServer:
         space: SpaceManager,
         port: RpcServerPort,
         downlinks: _t.Dict[int, Link],
+        obs: _t.Optional[_t.Any] = None,
     ) -> None:
         self.env = env
         self.params = params
@@ -99,6 +100,8 @@ class MetadataServer:
         self.space = space
         self.port = port
         self.downlinks = downlinks
+        #: Observability bundle (``repro.obs.Instrumentation``) or None.
+        self.obs = obs
         self._lock = Resource(env, capacity=1)
         self._active = 0
         self.requests_processed = 0
@@ -132,6 +135,19 @@ class MetadataServer:
 
             ops = message.op_count()
             scale = self._contention_scale()
+            handle_span = None
+            if self.obs is not None:
+                handle_span = self.obs.tracer.begin(
+                    "mds_handle",
+                    "mds",
+                    node="mds",
+                    actor=f"mds-daemon-{daemon_id}",
+                    parent=message.trace_span_id,
+                    update_ids=message.trace_ids,
+                    kind=message.kind,
+                    ops=ops,
+                    queue_wait=start - message.arrive_time,
+                )
             # Parse + per-op processing (parallel across daemons).
             yield self.env.timeout(
                 (self.params.svc_message + ops * self.params.svc_op) * scale
@@ -148,6 +164,8 @@ class MetadataServer:
             self.requests_processed += 1
             self.ops_processed += ops
             self.busy_time += self.env.now - start
+            if handle_span is not None:
+                self.obs.tracer.end(handle_span)
             downlink = self.downlinks[message.client_id]
             self.port.reply(message, result, downlink)
 

@@ -74,6 +74,10 @@ class CommitOp:
     extents: _t.List[_t.Any]
     #: Virtual time the originating update entered the commit queue.
     enqueue_time: float = 0.0
+    #: Causal-trace ids of the logical updates this op commits (empty
+    #: when tracing is off); carries no wire weight -- sizes derive from
+    #: the op count alone.
+    trace_ids: _t.Tuple[int, ...] = ()
 
 
 @dataclass
@@ -137,6 +141,13 @@ class RpcMessage:
     reply_data_bytes: int = 0
     #: Filled by the server with the reply value before reply delivery.
     result: _t.Any = None
+    #: Virtual time the request landed in the server inbox (set by the
+    #: transport; the server's queue-wait accounting reads it).
+    arrive_time: float = 0.0
+    #: Causal tracing: update ids this RPC works for and the client-side
+    #: RPC span id (both empty/None when tracing is off).
+    trace_ids: _t.Tuple[int, ...] = ()
+    trace_span_id: _t.Optional[int] = None
 
     def op_count(self) -> int:
         """Number of logical operations carried (compound degree)."""

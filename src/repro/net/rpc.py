@@ -47,6 +47,7 @@ class RpcServerPort:
     def deliver(self, message: RpcMessage) -> None:
         """Called by the transport when a request arrives off the wire."""
         self.requests_received += 1
+        message.arrive_time = self.env.now
         self.inbox.put(message)
 
     def reply(self, message: RpcMessage, result: _t.Any, downlink: Link) -> None:
@@ -89,11 +90,17 @@ class RpcClient:
     """
 
     def __init__(
-        self, env: "Environment", client_id: int, transport: RpcTransport
+        self,
+        env: "Environment",
+        client_id: int,
+        transport: RpcTransport,
+        obs: _t.Optional[_t.Any] = None,
     ) -> None:
         self.env = env
         self.client_id = client_id
         self.transport = transport
+        #: Observability bundle (``repro.obs.Instrumentation``) or None.
+        self.obs = obs
         self.calls_sent = 0
         self.ops_sent = 0
 
@@ -103,6 +110,7 @@ class RpcClient:
         payload: Payload,
         data_bytes: int = 0,
         reply_data_bytes: int = 0,
+        trace_ids: _t.Tuple[int, ...] = (),
     ) -> Event:
         message = RpcMessage(
             kind=kind,
@@ -115,5 +123,25 @@ class RpcClient:
         )
         self.calls_sent += 1
         self.ops_sent += message.op_count()
+        if self.obs is not None:
+            # Span covering uplink + server queue/service + downlink;
+            # closed by a reply-event callback (recording only, so the
+            # extra callback cannot perturb event ordering).
+            span = self.obs.tracer.begin(
+                f"rpc:{kind}",
+                "rpc",
+                node=f"client-{self.client_id}",
+                actor="rpc",
+                update_ids=tuple(trace_ids),
+                ops=message.op_count(),
+                request_bytes=message.request_size(),
+            )
+            message.trace_ids = tuple(trace_ids)
+            message.trace_span_id = span.span_id
+            tracer = self.obs.tracer
+            message.reply_event.callbacks.append(
+                lambda _ev, s=span: tracer.end(s)
+            )
+            self.obs.registry.counter(f"rpc.calls.{kind}").inc()
         self.transport.send_request(message)
         return message.reply_event

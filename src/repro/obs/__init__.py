@@ -1,0 +1,70 @@
+"""Observability: causal tracing and the unified metrics/event layer.
+
+``repro.obs`` gives the reproduction the accounting the paper's argument
+rests on -- *where an update spends its life*: on the application's
+critical path (synchronous commit) or inside the background machinery
+(delayed commit).  It provides
+
+- a zero-dependency span/event :class:`~repro.obs.tracer.Tracer` keyed
+  on virtual time, producing one causal trace per logical update
+  (``writepage -> enqueue -> merge -> compound -> commit RPC -> MDS ->
+  disk dispatch``);
+- a :class:`~repro.obs.registry.MetricsRegistry` of counters, gauges,
+  and histograms that all components publish into;
+- exporters: JSONL, Chrome ``trace_event`` JSON (Perfetto-loadable), and
+  plain-text summaries (:mod:`repro.obs.export`).
+
+Observability is **off by default**: clusters built without an
+:class:`Instrumentation` object run the untraced fast path, and a traced
+run is event-for-event identical to an untraced one (the hooks only
+record; they never schedule events or consume RNG draws).
+"""
+
+from repro.obs.export import (
+    load_chrome_trace,
+    read_jsonl,
+    stats_table,
+    to_chrome_trace,
+    to_jsonl_records,
+    trace_summary,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.instrument import (
+    EngineProbe,
+    Instrumentation,
+    register_redbud_gauges,
+)
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.tracer import (
+    CHAIN_STAGES,
+    Span,
+    TraceEvent,
+    Tracer,
+    complete_chains,
+    update_stages,
+)
+
+__all__ = [
+    "CHAIN_STAGES",
+    "Counter",
+    "EngineProbe",
+    "Gauge",
+    "Histogram",
+    "Instrumentation",
+    "MetricsRegistry",
+    "Span",
+    "TraceEvent",
+    "Tracer",
+    "complete_chains",
+    "load_chrome_trace",
+    "read_jsonl",
+    "register_redbud_gauges",
+    "stats_table",
+    "to_chrome_trace",
+    "to_jsonl_records",
+    "trace_summary",
+    "update_stages",
+    "write_chrome_trace",
+    "write_jsonl",
+]

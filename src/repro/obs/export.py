@@ -1,0 +1,239 @@
+"""Trace and metric exporters: JSONL, Chrome ``trace_event``, ASCII.
+
+Three consumers, three formats:
+
+- **JSONL** -- one JSON object per line, ``{"type": "span" | "instant",
+  ...}``; trivially greppable and machine-readable
+  (:func:`write_jsonl` / :func:`read_jsonl` round-trip).
+- **Chrome trace_event JSON** -- loadable in Perfetto or
+  ``chrome://tracing``; virtual-time seconds are exported as
+  microseconds (the format's native unit), node names become processes
+  and actor names become threads via metadata events.
+- **Plain text** -- a metric table plus an ASCII span-density plot
+  reusing :mod:`repro.analysis.asciiplot`, for terminal eyeballing.
+"""
+
+from __future__ import annotations
+
+import json
+import typing as _t
+
+from repro.analysis.asciiplot import scatter
+from repro.analysis.report import Table
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracer import Span, TraceEvent, Tracer, complete_chains
+
+# -- JSONL ------------------------------------------------------------------
+
+
+def span_to_dict(span: Span) -> _t.Dict[str, _t.Any]:
+    return {
+        "type": "span",
+        "span_id": span.span_id,
+        "name": span.name,
+        "cat": span.cat,
+        "start": span.start,
+        "end": span.end,
+        "node": span.node,
+        "actor": span.actor,
+        "parent_id": span.parent_id,
+        "update_ids": list(span.update_ids),
+        "args": span.args,
+    }
+
+
+def event_to_dict(event: TraceEvent) -> _t.Dict[str, _t.Any]:
+    return {
+        "type": "instant",
+        "name": event.name,
+        "cat": event.cat,
+        "time": event.time,
+        "node": event.node,
+        "actor": event.actor,
+        "update_ids": list(event.update_ids),
+        "args": event.args,
+    }
+
+
+def to_jsonl_records(tracer: Tracer) -> _t.List[_t.Dict[str, _t.Any]]:
+    """Every span and instant as JSON-ready dicts, in recording order."""
+    records = [span_to_dict(span) for span in tracer.spans]
+    records.extend(event_to_dict(event) for event in tracer.events)
+    return records
+
+
+def write_jsonl(tracer: Tracer, path: str) -> int:
+    """Write the trace as JSON Lines; returns the record count."""
+    records = to_jsonl_records(tracer)
+    with open(path, "w") as fh:
+        for record in records:
+            fh.write(json.dumps(record, sort_keys=True))
+            fh.write("\n")
+    return len(records)
+
+
+def read_jsonl(path: str) -> _t.List[_t.Dict[str, _t.Any]]:
+    """Parse a JSONL trace back into dicts (round-trip of write_jsonl)."""
+    records = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+# -- Chrome trace_event ------------------------------------------------------
+
+#: Virtual seconds -> trace_event microseconds.
+_US = 1e6
+
+
+def to_chrome_trace(tracer: Tracer) -> _t.Dict[str, _t.Any]:
+    """Build a Chrome ``trace_event`` JSON object (Perfetto-loadable).
+
+    Nodes map to processes and actors to threads; durations use complete
+    events (``ph: "X"``) and instants use ``ph: "i"``.  Update ids ride
+    in ``args.update_ids`` so a span's causal chain can be followed by
+    searching the id in the UI.
+    """
+    pids: _t.Dict[str, int] = {}
+    tids: _t.Dict[_t.Tuple[str, str], int] = {}
+    events: _t.List[_t.Dict[str, _t.Any]] = []
+
+    def pid_of(node: str) -> int:
+        if node not in pids:
+            pids[node] = len(pids) + 1
+            events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pids[node],
+                    "tid": 0,
+                    "args": {"name": node or "unnamed"},
+                }
+            )
+        return pids[node]
+
+    def tid_of(node: str, actor: str) -> int:
+        key = (node, actor)
+        if key not in tids:
+            tids[key] = len(tids) + 1
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": pid_of(node),
+                    "tid": tids[key],
+                    "args": {"name": actor or "main"},
+                }
+            )
+        return tids[key]
+
+    for span in tracer.spans:
+        if not span.finished:
+            continue
+        args = dict(span.args)
+        args["update_ids"] = list(span.update_ids)
+        if span.parent_id is not None:
+            args["parent_span"] = span.parent_id
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.cat,
+                "ph": "X",
+                "ts": span.start * _US,
+                "dur": span.duration * _US,
+                "pid": pid_of(span.node),
+                "tid": tid_of(span.node, span.actor),
+                "args": args,
+            }
+        )
+    for event in tracer.events:
+        args = dict(event.args)
+        args["update_ids"] = list(event.update_ids)
+        events.append(
+            {
+                "name": event.name,
+                "cat": event.cat,
+                "ph": "i",
+                "s": "t",
+                "ts": event.time * _US,
+                "pid": pid_of(event.node),
+                "tid": tid_of(event.node, event.actor),
+                "args": args,
+            }
+        )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"clock": "virtual", "unit": "us of virtual time"},
+    }
+
+
+def write_chrome_trace(tracer: Tracer, path: str) -> int:
+    """Write a Chrome trace JSON file; returns the event count."""
+    trace = to_chrome_trace(tracer)
+    with open(path, "w") as fh:
+        json.dump(trace, fh)
+    return len(trace["traceEvents"])
+
+
+def load_chrome_trace(path: str) -> _t.Dict[str, _t.Any]:
+    """Load a Chrome trace JSON file back (round-trip check)."""
+    with open(path) as fh:
+        return json.load(fh)
+
+
+# -- plain text --------------------------------------------------------------
+
+
+def stats_table(registry: MetricsRegistry, title: str = "metrics") -> Table:
+    """The registry snapshot as a printable table."""
+    table = Table(["metric", "kind", "value"], title=title)
+    for name, kind, value in registry.rows():
+        table.add_row(name, kind, value)
+    return table
+
+
+def trace_summary(tracer: Tracer) -> str:
+    """Plain-text trace overview: per-stage counts and a density plot."""
+    by_name: _t.Dict[str, _t.List[Span]] = {}
+    for span in tracer.finished_spans():
+        by_name.setdefault(span.name, []).append(span)
+    table = Table(
+        ["span", "count", "total s", "mean ms"], title="trace summary"
+    )
+    for name in sorted(by_name):
+        spans = by_name[name]
+        total = sum(s.duration for s in spans)
+        table.add_row(
+            name,
+            len(spans),
+            f"{total:.4f}",
+            f"{1000.0 * total / len(spans):.4f}",
+        )
+    instants: _t.Dict[str, int] = {}
+    for event in tracer.events:
+        instants[event.name] = instants.get(event.name, 0) + 1
+    for name in sorted(instants):
+        table.add_row(name, instants[name], "-", "-")
+    lines = [table.render()]
+    chains = complete_chains(tracer)
+    merged = complete_chains(tracer, require_merge=True)
+    lines.append(
+        f"complete enqueue->dispatch chains: {len(chains)} "
+        f"(with dedup merge: {len(merged)})"
+    )
+    dispatches = [s for s in tracer.spans_named("disk_dispatch") if s.finished]
+    if dispatches:
+        lines.append(
+            scatter(
+                [s.start for s in dispatches],
+                [float(s.args.get("start", 0)) for s in dispatches],
+                title="disk dispatches (address over virtual time)",
+                x_label="time",
+                y_label="volume address",
+            )
+        )
+    return "\n".join(lines)

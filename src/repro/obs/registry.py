@@ -1,0 +1,183 @@
+"""Counter/gauge/histogram registry all components publish into.
+
+One :class:`MetricsRegistry` exists per instrumented cluster.  Components
+*push* counters and histogram observations as they work (commit RPCs
+sent, compound degrees used); the cluster assembly *registers* pull
+gauges over live component state (queue depths, utilisations, hit
+rates), so a snapshot taken at any virtual time reads the whole system
+at once.  ``python -m repro stats`` prints :meth:`MetricsRegistry.rows`.
+
+Metrics are plain Python objects: no background sampling processes, no
+locks, no effect on simulation ordering.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        self.value += amount
+
+    def read(self) -> float:
+        return self.value
+
+
+class Gauge:
+    """A point-in-time value: either set directly or pulled via ``fn``."""
+
+    __slots__ = ("name", "fn", "_value")
+
+    def __init__(
+        self, name: str, fn: _t.Optional[_t.Callable[[], float]] = None
+    ) -> None:
+        self.name = name
+        self.fn = fn
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        if self.fn is not None:
+            raise ValueError(f"gauge {self.name} is pull-based")
+        self._value = value
+
+    def read(self) -> float:
+        if self.fn is not None:
+            return float(self.fn())
+        return self._value
+
+
+class Histogram:
+    """Summary of observed values: count, sum, min, max, mean.
+
+    Additionally keeps exact counts for small non-negative integer
+    observations (compound degrees, queue depths) in ``int_counts`` --
+    the Fig. 7 degree histogram without a binning policy to argue about.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "int_counts")
+
+    #: Integer observations up to this value are counted exactly.
+    _INT_LIMIT = 1024
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min: _t.Optional[float] = None
+        self.max: _t.Optional[float] = None
+        self.int_counts: _t.Dict[int, int] = {}
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        if (
+            isinstance(value, int)
+            or float(value).is_integer()
+        ) and 0 <= value <= self._INT_LIMIT:
+            key = int(value)
+            self.int_counts[key] = self.int_counts.get(key, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> _t.Dict[str, float]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "min": self.min if self.min is not None else 0.0,
+            "max": self.max if self.max is not None else 0.0,
+        }
+
+
+Metric = _t.Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Named metrics, created on first use and snapshotted on demand."""
+
+    def __init__(self) -> None:
+        self._metrics: _t.Dict[str, Metric] = {}
+
+    def _get_or_create(
+        self, name: str, kind: _t.Type[Metric], **kwargs: _t.Any
+    ) -> Metric:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = kind(name, **kwargs)
+            self._metrics[name] = metric
+        elif not isinstance(metric, kind):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(metric).__name__}, not {kind.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter)
+
+    def gauge(
+        self, name: str, fn: _t.Optional[_t.Callable[[], float]] = None
+    ) -> Gauge:
+        gauge = self._get_or_create(name, Gauge)
+        if fn is not None:
+            gauge.fn = fn
+        return gauge
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get_or_create(name, Histogram)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def names(self) -> _t.List[str]:
+        return sorted(self._metrics)
+
+    # -- snapshots ---------------------------------------------------------
+
+    def snapshot(self) -> _t.Dict[str, _t.Any]:
+        """All metrics as plain values (histograms as summary dicts)."""
+        out: _t.Dict[str, _t.Any] = {}
+        for name in self.names():
+            metric = self._metrics[name]
+            if isinstance(metric, Histogram):
+                out[name] = metric.summary()
+            else:
+                out[name] = metric.read()
+        return out
+
+    def rows(self) -> _t.List[_t.Tuple[str, str, _t.Any]]:
+        """(name, kind, value) rows for the ``stats`` table."""
+        rows: _t.List[_t.Tuple[str, str, _t.Any]] = []
+        for name in self.names():
+            metric = self._metrics[name]
+            if isinstance(metric, Histogram):
+                value: _t.Any = (
+                    f"n={metric.count} mean={metric.mean:.4g} "
+                    f"min={metric.min or 0:.4g} max={metric.max or 0:.4g}"
+                )
+                rows.append((name, "histogram", value))
+            elif isinstance(metric, Counter):
+                rows.append((name, "counter", metric.read()))
+            else:
+                rows.append((name, "gauge", metric.read()))
+        return rows

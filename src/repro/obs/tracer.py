@@ -1,0 +1,224 @@
+"""Span/event tracing keyed on virtual time.
+
+The tracer records a **causal trace** per logical update: every stage an
+update passes through -- ``writepage``, commit-queue enqueue, dedup
+merge, compound assembly, the commit RPC, MDS handling, disk dispatch --
+emits a :class:`Span` (an interval) or a :class:`TraceEvent` (an
+instant), all tagged with the originating update ids.  Stages are
+correlated by *update id*: :meth:`Tracer.new_update` hands out one id per
+logical update (one ``write`` call), and every downstream hook carries
+the ids of the updates it is working for.
+
+Design constraints
+------------------
+*Zero perturbation*: recording only appends to Python lists; it never
+schedules events, consumes RNG draws, or mutates simulation state, so a
+traced run is event-for-event identical to an untraced one (enforced by
+``tests/obs/test_trace_determinism.py``).
+
+*Zero dependencies*: the tracer knows nothing about the file-system
+model; components push spans into it through the hooks in
+:mod:`repro.obs.instrument`.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+from dataclasses import dataclass, field
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Environment
+
+
+@dataclass
+class Span:
+    """One interval of work attributed to a node/actor pair.
+
+    ``end`` is ``None`` while the span is open; :meth:`Tracer.end` closes
+    it.  ``update_ids`` names the logical updates this work was done for
+    (several, when dedup or compounding batched updates together).
+    """
+
+    span_id: int
+    name: str
+    cat: str
+    start: float
+    node: str = ""
+    actor: str = ""
+    parent_id: _t.Optional[int] = None
+    end: _t.Optional[float] = None
+    update_ids: _t.Tuple[int, ...] = ()
+    args: _t.Dict[str, _t.Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    @property
+    def finished(self) -> bool:
+        return self.end is not None
+
+
+@dataclass
+class TraceEvent:
+    """One instantaneous occurrence (a dedup merge, a degree change)."""
+
+    name: str
+    cat: str
+    time: float
+    node: str = ""
+    actor: str = ""
+    update_ids: _t.Tuple[int, ...] = ()
+    args: _t.Dict[str, _t.Any] = field(default_factory=dict)
+
+
+class Tracer:
+    """Accumulates spans and instant events against the virtual clock.
+
+    The tracer is bound to an :class:`Environment` by :meth:`attach`
+    (clusters do this in their constructor); until then the clock reads
+    zero, which only matters for unit tests that drive the tracer
+    directly.
+    """
+
+    def __init__(self, env: _t.Optional["Environment"] = None) -> None:
+        self._env = env
+        self.spans: _t.List[Span] = []
+        self.events: _t.List[TraceEvent] = []
+        self._next_span_id = 1
+        self._next_update_id = 1
+
+    def attach(self, env: "Environment") -> None:
+        """Bind the tracer to the environment whose clock stamps spans."""
+        self._env = env
+
+    @property
+    def now(self) -> float:
+        return self._env.now if self._env is not None else 0.0
+
+    # -- ids ---------------------------------------------------------------
+
+    def new_update(self) -> int:
+        """Allocate the id of one logical update (one write call)."""
+        uid = self._next_update_id
+        self._next_update_id += 1
+        return uid
+
+    # -- recording ---------------------------------------------------------
+
+    def begin(
+        self,
+        name: str,
+        cat: str,
+        *,
+        node: str = "",
+        actor: str = "",
+        parent: _t.Optional[int] = None,
+        update_ids: _t.Tuple[int, ...] = (),
+        **args: _t.Any,
+    ) -> Span:
+        """Open a span starting now; close it with :meth:`end`."""
+        span = Span(
+            span_id=self._next_span_id,
+            name=name,
+            cat=cat,
+            start=self.now,
+            node=node,
+            actor=actor,
+            parent_id=parent,
+            update_ids=tuple(update_ids),
+            args=dict(args),
+        )
+        self._next_span_id += 1
+        self.spans.append(span)
+        return span
+
+    def end(self, span: Span, **args: _t.Any) -> Span:
+        """Close ``span`` at the current virtual time."""
+        span.end = self.now
+        if args:
+            span.args.update(args)
+        return span
+
+    def instant(
+        self,
+        name: str,
+        cat: str,
+        *,
+        node: str = "",
+        actor: str = "",
+        update_ids: _t.Tuple[int, ...] = (),
+        **args: _t.Any,
+    ) -> TraceEvent:
+        """Record an instantaneous event at the current virtual time."""
+        event = TraceEvent(
+            name=name,
+            cat=cat,
+            time=self.now,
+            node=node,
+            actor=actor,
+            update_ids=tuple(update_ids),
+            args=dict(args),
+        )
+        self.events.append(event)
+        return event
+
+    # -- views -------------------------------------------------------------
+
+    def finished_spans(self) -> _t.List[Span]:
+        return [span for span in self.spans if span.finished]
+
+    def spans_named(self, name: str) -> _t.List[Span]:
+        return [span for span in self.spans if span.name == name]
+
+    def events_named(self, name: str) -> _t.List[TraceEvent]:
+        return [event for event in self.events if event.name == name]
+
+    def __len__(self) -> int:
+        return len(self.spans) + len(self.events)
+
+
+#: The stage names of a delayed-commit update's causal chain, in order.
+#: ``commit_merge`` is optional (only deduped updates have it); the rest
+#: form the enqueue -> ... -> dispatch chain every update must complete.
+CHAIN_STAGES: _t.Tuple[str, ...] = (
+    "commit_queued",
+    "compound_assembly",
+    "rpc:commit",
+    "mds_handle",
+    "disk_dispatch",
+)
+
+
+def update_stages(tracer: Tracer) -> _t.Dict[int, _t.Set[str]]:
+    """Map each update id to the set of stage names it passed through."""
+    stages: _t.Dict[int, _t.Set[str]] = {}
+    for span in tracer.spans:
+        for uid in span.update_ids:
+            stages.setdefault(uid, set()).add(span.name)
+    for event in tracer.events:
+        for uid in event.update_ids:
+            stages.setdefault(uid, set()).add(event.name)
+    return stages
+
+
+def complete_chains(
+    tracer: Tracer, require_merge: bool = False
+) -> _t.List[int]:
+    """Update ids whose causal chain is complete (enqueue -> dispatch).
+
+    With ``require_merge`` the update must additionally have been
+    dedup-merged into a resident commit record (``commit_merge``) --
+    the full enqueue -> merge -> compound -> commit -> dispatch chain of
+    the paper's delayed-commit fast path.
+    """
+    required = set(CHAIN_STAGES)
+    if require_merge:
+        required.add("commit_merge")
+    return sorted(
+        uid
+        for uid, seen in update_stages(tracer).items()
+        if required <= seen
+    )

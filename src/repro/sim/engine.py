@@ -52,9 +52,16 @@ class Environment:
 
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
-        self._queue: _t.List[_t.Tuple[float, int, int, Event]] = []
+        self._queue: _t.List[
+            _t.Tuple[float, int, int, Event, float]
+        ] = []
         self._seq = 0
         self._active_process: _t.Optional[Process] = None
+        #: Optional observability probe (see ``repro.obs``): when set,
+        #: :meth:`step` reports each event's calendar sojourn time and
+        #: the calendar depth.  Recording only -- the probe never alters
+        #: scheduling, so traced and untraced runs are identical.
+        self.probe: _t.Optional[_t.Any] = None
 
     # -- clock ------------------------------------------------------------
 
@@ -103,8 +110,12 @@ class Environment:
         priority: int = PRIORITY_NORMAL,
     ) -> None:
         """Place a triggered event on the calendar ``delay`` from now."""
+        # The trailing push-time element never participates in ordering
+        # (the sequence number is unique); it feeds the event-loop-lag
+        # probe when one is installed.
         heapq.heappush(
-            self._queue, (self._now + delay, priority, self._seq, event)
+            self._queue,
+            (self._now + delay, priority, self._seq, event, self._now),
         )
         self._seq += 1
 
@@ -122,8 +133,10 @@ class Environment:
         SimulationError
             If the event failed and nobody defused the failure.
         """
-        when, _prio, _seq, event = heapq.heappop(self._queue)
+        when, _prio, _seq, event, pushed = heapq.heappop(self._queue)
         self._now = when
+        if self.probe is not None:
+            self.probe.on_step(when - pushed, len(self._queue) + 1)
 
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:

@@ -33,24 +33,31 @@ class BlockDevice:
         client_id: int,
         array: DiskArray,
         max_merge_bytes: int = 512 * 1024,
+        obs: _t.Optional[_t.Any] = None,
     ) -> None:
         self.env = env
         self.client_id = client_id
         self.scheduler = ElevatorScheduler(
-            env, client_id, max_merge_bytes=max_merge_bytes
+            env, client_id, max_merge_bytes=max_merge_bytes, obs=obs
         )
         array.attach(self.scheduler)
 
     def submit_write(
-        self, start: int, length: int, file_id: int, sync: bool = False
+        self,
+        start: int,
+        length: int,
+        file_id: int,
+        sync: bool = False,
+        trace_update: _t.Optional[int] = None,
     ) -> Event:
         """Queue a data write; returns its completion event (writepage).
 
         ``sync`` marks a write the application is blocked on: it skips
         block-layer plugging and is dispatched as soon as the elevator
-        reaches it.
+        reaches it.  ``trace_update`` tags the request with its causal
+        update id when tracing is on.
         """
-        return self._submit(WRITE, start, length, file_id, sync)
+        return self._submit(WRITE, start, length, file_id, sync, trace_update)
 
     def submit_read(self, start: int, length: int, file_id: int) -> Event:
         """Queue a data read; returns its completion event."""
@@ -61,7 +68,13 @@ class BlockDevice:
         self.scheduler.expedite_file(file_id)
 
     def _submit(
-        self, op: str, start: int, length: int, file_id: int, sync: bool
+        self,
+        op: str,
+        start: int,
+        length: int,
+        file_id: int,
+        sync: bool,
+        trace_update: _t.Optional[int] = None,
     ) -> Event:
         completion = Event(self.env)
         request = BlockRequest(
@@ -73,6 +86,7 @@ class BlockDevice:
             submit_time=self.env.now,
             completion=completion,
             sync=sync,
+            trace_update=trace_update,
         )
         self.scheduler.submit(request)
         return completion

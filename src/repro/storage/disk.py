@@ -145,6 +145,7 @@ class DiskArray:
         params: DiskParameters,
         rng: StreamRNG,
         trace: _t.Optional[BlkTrace] = None,
+        obs: _t.Optional[_t.Any] = None,
     ) -> None:
         if params.num_spindles <= 0:
             raise ValueError(f"need at least one spindle: {params}")
@@ -152,6 +153,8 @@ class DiskArray:
         self.params = params
         self.rng = rng
         self.trace = trace
+        #: Observability bundle (``repro.obs.Instrumentation``) or None.
+        self.obs = obs
         self._schedulers: _t.List[ElevatorScheduler] = []
         n = params.num_spindles
         self._heads = [0] * n  # logical, for C-LOOK ordering
@@ -271,6 +274,20 @@ class DiskArray:
                 continue
 
             service, seek_distance = self.service_time(spindle, request)
+            dispatch_span = None
+            if self.obs is not None:
+                dispatch_span = self.obs.tracer.begin(
+                    "disk_dispatch",
+                    "blk",
+                    node="array",
+                    actor=f"spindle-{spindle}",
+                    update_ids=request.trace_updates(),
+                    op=request.op,
+                    start=request.start,
+                    length=request.length,
+                    seek=seek_distance,
+                    client=request.client_id,
+                )
             start = env.now
             yield env.timeout(service)
             self.busy_time += env.now - start
@@ -293,6 +310,8 @@ class DiskArray:
                     client_id=request.client_id,
                     queued=request.count_all(),
                 )
+            if dispatch_span is not None:
+                self.obs.tracer.end(dispatch_span)
             request.complete_all()
 
     def service_time(

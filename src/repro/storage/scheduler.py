@@ -53,6 +53,9 @@ class BlockRequest:
     sync: bool = False
     #: Requests absorbed into this one by merging.
     merged: _t.List["BlockRequest"] = field(default_factory=list)
+    #: Causal-trace id of the logical update that issued this request
+    #: (None when tracing is off or the request is not part of a write).
+    trace_update: _t.Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.op not in (READ, WRITE):
@@ -75,6 +78,15 @@ class BlockRequest:
     def count_all(self) -> int:
         """Number of original submissions represented (self + merged)."""
         return 1 + sum(sub.count_all() for sub in self.merged)
+
+    def trace_updates(self) -> _t.Tuple[int, ...]:
+        """Update ids of this request and everything merged into it."""
+        ids: _t.List[int] = []
+        if self.trace_update is not None:
+            ids.append(self.trace_update)
+        for sub in self.merged:
+            ids.extend(sub.trace_updates())
+        return tuple(ids)
 
     def __repr__(self) -> str:
         return (
@@ -135,10 +147,13 @@ class ElevatorScheduler:
         max_merge_bytes: int = 512 * 1024,
         read_deadline: float = 0.05,
         write_deadline: float = 0.5,
+        obs: _t.Optional[_t.Any] = None,
     ) -> None:
         self.env = env
         self.client_id = client_id
         self.max_merge_bytes = max_merge_bytes
+        #: Observability bundle (``repro.obs.Instrumentation``) or None.
+        self.obs = obs
         #: Anti-starvation deadlines (the Linux ``deadline`` scheduler's
         #: idea): a request older than its deadline is served before the
         #: C-LOOK sweep continues.  Without this, an ever-advancing write
@@ -188,6 +203,7 @@ class ElevatorScheduler:
                 head.merged.append(request)
                 head.length += request.length
                 self.stats.merges += 1
+                self._record_merge(request, head, "back")
                 return True
 
         # Front merge: new request ends where a queued one starts.
@@ -208,9 +224,27 @@ class ElevatorScheduler:
                 self._queue.insert(new_idx, request)
                 self._starts.insert(new_idx, request.start)
                 self.stats.merges += 1
+                self._record_merge(tail, request, "front")
                 return True
 
         return False
+
+    def _record_merge(
+        self, absorbed: BlockRequest, into: BlockRequest, kind: str
+    ) -> None:
+        if self.obs is None:
+            return
+        self.obs.tracer.instant(
+            "blk_merge",
+            "blk",
+            node=f"client-{self.client_id}",
+            actor="elevator",
+            update_ids=into.trace_updates(),
+            merge_kind=kind,
+            start=into.start,
+            length=into.length,
+        )
+        self.obs.registry.counter("blk.merges").inc()
 
     # -- dispatch ------------------------------------------------------------
 

@@ -28,9 +28,13 @@ class MiniCluster:
         disk_params=None,
         volume_size=1 << 30,
         seed=7,
+        obs=None,
         **client_kw,
     ):
         self.env = env
+        self.obs = obs
+        if obs is not None:
+            obs.attach(env)
         rng = StreamRNG(seed)
         self.trace = BlkTrace()
         self.array = DiskArray(
@@ -38,6 +42,7 @@ class MiniCluster:
             disk_params or DiskParameters(volume_size=volume_size),
             rng.stream("disk"),
             trace=self.trace,
+            obs=obs,
         )
         self.port = RpcServerPort(env)
         self.namespace = Namespace()
@@ -48,7 +53,9 @@ class MiniCluster:
             up = Link(env, name=f"up-{cid}")
             down = Link(env, name=f"down-{cid}")
             downlinks[cid] = down
-            rpc = RpcClient(env, cid, RpcTransport(env, up, down, self.port))
+            rpc = RpcClient(
+                env, cid, RpcTransport(env, up, down, self.port), obs=obs
+            )
             delegation = (
                 DoubleSpacePool(chunk_size=delegation_chunk)
                 if delegation_chunk
@@ -58,9 +65,10 @@ class MiniCluster:
                 env,
                 cid,
                 rpc,
-                BlockDevice(env, cid, self.array),
+                BlockDevice(env, cid, self.array, obs=obs),
                 commit_mode=commit_mode,
                 delegation=delegation,
+                obs=obs,
                 **client_kw,
             )
             self.clients.append(client)
@@ -71,6 +79,7 @@ class MiniCluster:
             self.space,
             self.port,
             downlinks,
+            obs=obs,
         )
 
     @property

@@ -1,0 +1,126 @@
+"""Exporter round-trips: JSONL and Chrome trace_event schemas."""
+
+import json
+
+from repro.obs import (
+    Instrumentation,
+    Tracer,
+    load_chrome_trace,
+    read_jsonl,
+    stats_table,
+    to_chrome_trace,
+    to_jsonl_records,
+    trace_summary,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.sim import Environment
+
+
+def _sample_tracer():
+    env = Environment()
+    tracer = Tracer(env)
+    uid = tracer.new_update()
+    root = tracer.begin(
+        "update", "client", node="client-0", actor="app",
+        update_ids=(uid,), file_id=3,
+    )
+    child = tracer.begin(
+        "writepage", "client", node="client-0", actor="writeback",
+        parent=root.span_id, update_ids=(uid,), length=4096,
+    )
+    env.run(until=0.25)
+    tracer.end(child)
+    tracer.end(root)
+    tracer.instant(
+        "commit_merge", "queue", node="client-0", update_ids=(uid,)
+    )
+    tracer.begin("unfinished", "test")  # open span: excluded from chrome
+    return tracer
+
+
+def test_jsonl_roundtrip(tmp_path):
+    tracer = _sample_tracer()
+    path = str(tmp_path / "trace.jsonl")
+    count = write_jsonl(tracer, path)
+    records = read_jsonl(path)
+    assert len(records) == count == len(tracer.spans) + len(tracer.events)
+    assert records == to_jsonl_records(tracer)
+    spans = [r for r in records if r["type"] == "span"]
+    instants = [r for r in records if r["type"] == "instant"]
+    assert len(spans) == 3
+    assert len(instants) == 1
+    wp = next(r for r in spans if r["name"] == "writepage")
+    assert wp["end"] == 0.25
+    assert wp["update_ids"] == [1]
+    assert wp["parent_id"] == spans[0]["span_id"]
+
+
+def test_chrome_trace_schema(tmp_path):
+    tracer = _sample_tracer()
+    path = str(tmp_path / "trace.json")
+    write_chrome_trace(tracer, path)
+    trace = load_chrome_trace(path)
+    events = trace["traceEvents"]
+    # Metadata names for process/thread, X for spans, i for instants.
+    phases = {e["ph"] for e in events}
+    assert phases == {"M", "X", "i"}
+    complete = [e for e in events if e["ph"] == "X"]
+    assert {e["name"] for e in complete} == {"update", "writepage"}
+    wp = next(e for e in complete if e["name"] == "writepage")
+    assert wp["ts"] == 0.0
+    assert wp["dur"] == 0.25 * 1e6  # virtual seconds -> microseconds
+    assert wp["args"]["update_ids"] == [1]
+    assert "parent_span" in wp["args"]
+    names = {
+        e["args"]["name"]
+        for e in events
+        if e["ph"] == "M" and e["name"] == "process_name"
+    }
+    assert "client-0" in names
+    # The whole object must survive a plain JSON round-trip.
+    assert json.loads(json.dumps(trace)) == trace
+
+
+def test_unfinished_spans_not_exported_to_chrome():
+    tracer = _sample_tracer()
+    trace = to_chrome_trace(tracer)
+    assert all(
+        e["name"] != "unfinished" for e in trace["traceEvents"]
+    )
+
+
+def test_trace_summary_mentions_chains():
+    tracer = _sample_tracer()
+    text = trace_summary(tracer)
+    assert "complete enqueue->dispatch chains" in text
+    assert "writepage" in text
+
+
+def test_stats_table_renders():
+    obs = Instrumentation()
+    obs.registry.counter("a.count").inc(3)
+    obs.registry.gauge("b.depth").set(7.0)
+    obs.registry.histogram("c.degree").observe(2)
+    text = stats_table(obs.registry).render()
+    for fragment in ("a.count", "b.depth", "c.degree", "counter", "gauge"):
+        assert fragment in text
+
+
+def test_end_to_end_export_from_minicluster(tmp_path, env):
+    from tests.conftest import MiniCluster
+
+    obs = Instrumentation()
+    cluster = MiniCluster(env, commit_mode="delayed", obs=obs)
+    fs = cluster.client
+    (fid,) = cluster.run_ops(fs.create("f"), settle=0)
+    cluster.run_ops(fs.write(fid, 0, 65536), settle=2.0)
+
+    chrome_path = str(tmp_path / "t.json")
+    jsonl_path = str(tmp_path / "t.jsonl")
+    assert write_chrome_trace(obs.tracer, chrome_path) > 0
+    assert write_jsonl(obs.tracer, jsonl_path) > 0
+    trace = load_chrome_trace(chrome_path)
+    assert any(e.get("name") == "disk_dispatch" for e in trace["traceEvents"])
+    records = read_jsonl(jsonl_path)
+    assert any(r["name"] == "commit_queued" for r in records)

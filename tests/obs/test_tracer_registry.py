@@ -1,0 +1,176 @@
+"""Unit tests for the tracer and the metrics registry."""
+
+import pytest
+
+from repro.obs import (
+    CHAIN_STAGES,
+    Instrumentation,
+    MetricsRegistry,
+    Tracer,
+    complete_chains,
+    update_stages,
+)
+from repro.sim import Environment
+
+
+class TestTracer:
+    def test_span_lifecycle(self):
+        env = Environment()
+        tracer = Tracer(env)
+        span = tracer.begin("work", "test", node="n", actor="a", k=1)
+        assert not span.finished
+        assert span.duration == 0.0
+        env.run(until=0.5)
+        tracer.end(span, extra=2)
+        assert span.finished
+        assert span.start == 0.0
+        assert span.end == 0.5
+        assert span.duration == 0.5
+        assert span.args == {"k": 1, "extra": 2}
+
+    def test_clock_follows_environment(self):
+        env = Environment()
+        tracer = Tracer()
+        assert tracer.now == 0.0
+        tracer.attach(env)
+        env.run(until=1.25)
+        assert tracer.now == 1.25
+        event = tracer.instant("tick", "test")
+        assert event.time == 1.25
+
+    def test_update_ids_are_unique_and_sequential(self):
+        tracer = Tracer()
+        ids = [tracer.new_update() for _ in range(5)]
+        assert ids == sorted(set(ids))
+
+    def test_span_ids_unique(self):
+        tracer = Tracer()
+        spans = [tracer.begin(f"s{i}", "t") for i in range(10)]
+        assert len({s.span_id for s in spans}) == 10
+
+    def test_parent_linkage(self):
+        tracer = Tracer()
+        parent = tracer.begin("outer", "t")
+        child = tracer.begin("inner", "t", parent=parent.span_id)
+        assert child.parent_id == parent.span_id
+
+    def test_views(self):
+        tracer = Tracer()
+        a = tracer.begin("alpha", "t")
+        tracer.begin("beta", "t")
+        tracer.end(a)
+        tracer.instant("blip", "t")
+        assert len(tracer.finished_spans()) == 1
+        assert len(tracer.spans_named("alpha")) == 1
+        assert len(tracer.events_named("blip")) == 1
+        assert len(tracer) == 3
+
+
+class TestChains:
+    def test_complete_chain_detected(self):
+        tracer = Tracer()
+        uid = tracer.new_update()
+        for stage in CHAIN_STAGES:
+            tracer.end(tracer.begin(stage, "t", update_ids=(uid,)))
+        assert complete_chains(tracer) == [uid]
+
+    def test_partial_chain_excluded(self):
+        tracer = Tracer()
+        uid = tracer.new_update()
+        for stage in CHAIN_STAGES[:-1]:
+            tracer.end(tracer.begin(stage, "t", update_ids=(uid,)))
+        assert complete_chains(tracer) == []
+
+    def test_require_merge(self):
+        tracer = Tracer()
+        plain = tracer.new_update()
+        merged = tracer.new_update()
+        for stage in CHAIN_STAGES:
+            tracer.end(
+                tracer.begin(stage, "t", update_ids=(plain, merged))
+            )
+        tracer.instant("commit_merge", "t", update_ids=(merged,))
+        assert complete_chains(tracer) == [plain, merged]
+        assert complete_chains(tracer, require_merge=True) == [merged]
+
+    def test_update_stages_includes_instants(self):
+        tracer = Tracer()
+        uid = tracer.new_update()
+        tracer.begin("commit_queued", "t", update_ids=(uid,))
+        tracer.instant("commit_merge", "t", update_ids=(uid,))
+        assert update_stages(tracer)[uid] == {
+            "commit_queued",
+            "commit_merge",
+        }
+
+
+class TestRegistry:
+    def test_counter(self):
+        reg = MetricsRegistry()
+        c = reg.counter("x")
+        c.inc()
+        c.inc(2)
+        assert reg.counter("x").read() == 3
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_gauge_pull_and_set(self):
+        reg = MetricsRegistry()
+        state = {"v": 5}
+        g = reg.gauge("pull", lambda: state["v"])
+        assert g.read() == 5
+        state["v"] = 9
+        assert g.read() == 9
+        with pytest.raises(ValueError):
+            g.set(1.0)
+        s = reg.gauge("set")
+        s.set(2.5)
+        assert s.read() == 2.5
+
+    def test_histogram(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("deg")
+        for v in (1, 3, 3, 6):
+            h.observe(v)
+        assert h.count == 4
+        assert h.mean == pytest.approx(3.25)
+        assert h.min == 1
+        assert h.max == 6
+        assert h.int_counts == {1: 1, 3: 2, 6: 1}
+
+    def test_kind_collision_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("m")
+        with pytest.raises(TypeError):
+            reg.gauge("m")
+
+    def test_snapshot_and_rows(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.gauge("g").set(2.0)
+        reg.histogram("h").observe(4)
+        snap = reg.snapshot()
+        assert snap["c"] == 1
+        assert snap["g"] == 2.0
+        assert snap["h"]["count"] == 1
+        kinds = {name: kind for name, kind, _ in reg.rows()}
+        assert kinds == {"c": "counter", "g": "gauge", "h": "histogram"}
+
+
+class TestInstrumentation:
+    def test_attach_registers_engine_gauges(self):
+        env = Environment()
+        obs = Instrumentation()
+        obs.attach(env)
+        assert env.probe is obs.probe
+
+        def proc():
+            yield env.timeout(0.1)
+            yield env.timeout(0.2)
+
+        env.process(proc())
+        env.run()
+        snap = obs.registry.snapshot()
+        assert snap["sim.events_processed"] >= 2
+        assert snap["sim.event_lag.max"] >= 0.1
+        assert snap["sim.now"] == pytest.approx(0.3)

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import WORKLOADS, build_parser, main
@@ -48,6 +50,163 @@ def test_run_command_small(capsys):
     out = capsys.readouterr().out
     assert "ops/s" in out
     assert "merge_ratio" in out
+
+
+def test_run_command_json(capsys):
+    code = main(
+        [
+            "run",
+            "--system",
+            "nfs3",
+            "--workload",
+            "varmail",
+            "--clients",
+            "2",
+            "--duration",
+            "0.5",
+            "--json",
+        ]
+    )
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["system"] == "nfs3"
+    assert payload["workload"] == "varmail"
+    assert payload["ops_completed"] > 0
+    assert payload["latency"]["p95"] >= payload["latency"]["p50"]
+    assert all(
+        isinstance(v, (int, float, str, bool))
+        for v in payload["extras"].values()
+    )
+
+
+def test_run_command_with_trace(capsys, tmp_path):
+    trace_path = str(tmp_path / "run-trace.json")
+    code = main(
+        [
+            "run",
+            "--system",
+            "redbud-delayed",
+            "--workload",
+            "xcdn-32K",
+            "--clients",
+            "2",
+            "--duration",
+            "0.5",
+            "--trace",
+            trace_path,
+        ]
+    )
+    assert code == 0
+    with open(trace_path) as fh:
+        trace = json.load(fh)
+    assert any(
+        e.get("name") == "commit_queued" for e in trace["traceEvents"]
+    )
+
+
+def test_trace_command_produces_complete_chains(capsys, tmp_path):
+    out_path = str(tmp_path / "trace.json")
+    code = main(
+        [
+            "trace",
+            "--system",
+            "redbud-delayed",
+            "--workload",
+            "xcdn-32K",
+            "--clients",
+            "2",
+            "--duration",
+            "0.5",
+            "--out",
+            out_path,
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "complete enqueue->dispatch chains" in out
+    with open(out_path) as fh:
+        trace = json.load(fh)
+    names = {e.get("name") for e in trace["traceEvents"]}
+    for stage in (
+        "commit_queued",
+        "compound_assembly",
+        "rpc:commit",
+        "mds_handle",
+        "disk_dispatch",
+    ):
+        assert stage in names, stage
+
+
+def test_trace_command_jsonl_format(tmp_path):
+    out_path = str(tmp_path / "trace.jsonl")
+    code = main(
+        [
+            "trace",
+            "--system",
+            "redbud-delayed",
+            "--workload",
+            "xcdn-32K",
+            "--clients",
+            "2",
+            "--duration",
+            "0.5",
+            "--out",
+            out_path,
+            "--format",
+            "jsonl",
+        ]
+    )
+    assert code == 0
+    with open(out_path) as fh:
+        records = [json.loads(line) for line in fh if line.strip()]
+    assert records
+    assert {r["type"] for r in records} <= {"span", "instant"}
+
+
+def test_stats_command(capsys):
+    code = main(
+        [
+            "stats",
+            "--system",
+            "redbud-delayed",
+            "--workload",
+            "xcdn-32K",
+            "--clients",
+            "2",
+            "--duration",
+            "0.5",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    for name in (
+        "commit_queue.depth",
+        "elevator.merge_ratio",
+        "mds.utilization",
+        "commit.compound_degree",
+    ):
+        assert name in out
+
+
+def test_stats_command_json(capsys):
+    code = main(
+        [
+            "stats",
+            "--system",
+            "redbud-delayed",
+            "--workload",
+            "xcdn-32K",
+            "--clients",
+            "2",
+            "--duration",
+            "0.5",
+            "--json",
+        ]
+    )
+    assert code == 0
+    snap = json.loads(capsys.readouterr().out)
+    assert snap["commit.rpcs"] > 0
+    assert snap["commit.compound_degree"]["count"] > 0
 
 
 def test_crash_command_delayed_consistent(capsys):
