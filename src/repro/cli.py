@@ -163,11 +163,46 @@ def cmd_run(args: argparse.Namespace) -> int:
         print(err, file=sys.stderr)
         return 2
     obs = _build_obs(args)
+    config_kw: _t.Dict[str, _t.Any] = {}
+    spec = None
+    if getattr(args, "faults", None):
+        from repro.faults import FaultSpec
+
+        try:
+            spec = FaultSpec.parse(args.faults)
+        except ValueError as exc:
+            print(f"error: bad --faults spec: {exc}", file=sys.stderr)
+            return 2
+        if spec.empty:
+            # An empty spec injects nothing and must behave (and trace)
+            # byte-identically to a run without --faults, so don't arm
+            # the retry machinery either.
+            spec = None
+        else:
+            if not args.system.startswith("redbud"):
+                print(
+                    "error: --faults supports the redbud systems only",
+                    file=sys.stderr,
+                )
+                return 2
+            from repro.net.rpc import RetryPolicy
+
+            config_kw["retry"] = RetryPolicy()
     cluster = build_cluster(
-        args.system, num_clients=args.clients, seed=args.seed, obs=obs
+        args.system, num_clients=args.clients, seed=args.seed, obs=obs,
+        **config_kw,
     )
+    injector = None
+    if spec is not None:
+        from repro.faults import FaultInjector
+
+        injector = FaultInjector(cluster, spec)
     workload = WORKLOADS[args.workload]()
     result = cluster.run_workload(workload, duration=args.duration)
+    if injector is not None:
+        # Post-schedule settling: stop injecting, let retries drain.
+        injector.stop()
+        _settle(cluster)
     if obs is not None:
         from repro.obs import write_chrome_trace
 
@@ -177,7 +212,10 @@ def cmd_run(args: argparse.Namespace) -> int:
             f"wrote {count} trace events to {args.trace}", file=sys.stderr
         )
     if args.json:
-        print(json.dumps(_result_dict(result), indent=2, sort_keys=True))
+        payload = _result_dict(result)
+        if injector is not None:
+            payload["faults"] = injector.summary()
+        print(json.dumps(payload, indent=2, sort_keys=True))
         return 0
     table = Table(
         ["metric", "value"],
@@ -199,6 +237,20 @@ def cmd_run(args: argparse.Namespace) -> int:
             f"  {op:>12}: n={stats.count:<7} mean={fmt_time(stats.mean)} "
             f"p95={fmt_time(stats.p95)}"
         )
+    if injector is not None:
+        fault_table = Table(["fault metric", "value"], title="fault summary")
+        for key, value in injector.summary().items():
+            fault_table.add_row(key, value)
+        for key in (
+            "rpc_retries",
+            "rpc_timeouts",
+            "degraded_writes",
+            "duplicate_commits_suppressed",
+            "lease_gc_bytes_reclaimed",
+        ):
+            if key in result.extras:
+                fault_table.add_row(key, result.extras[key])
+        fault_table.print()
     return 0
 
 
@@ -410,6 +462,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace",
         metavar="PATH",
         help="also record a causal trace (Chrome trace_event JSON)",
+    )
+    p_run.add_argument(
+        "--faults",
+        metavar="SPEC",
+        default=None,
+        help="inject faults (redbud systems only); comma-separated "
+        "clauses: loss=P, delay=P:MAX, partition=CID@T0-T1, "
+        "mds_restart@T:D, client_death=CID@T -- e.g. "
+        "'loss=0.05,mds_restart@0.5:0.2,client_death=2@0.8'",
     )
     p_run.set_defaults(func=cmd_run)
 

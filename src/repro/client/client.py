@@ -26,6 +26,7 @@ from repro.core.delegation import DoubleSpacePool
 from repro.core.protocol import (
     CommitProtocol,
     DelayedCommitProtocol,
+    SynchronousCommitProtocol,
     make_protocol,
 )
 from repro.core.records import CommitRecord
@@ -81,6 +82,8 @@ class RedbudClient(FileSystemAPI):
         device_id: int = 0,
         dirty_limit: int = 64 * 1024 * 1024,
         obs: _t.Optional[_t.Any] = None,
+        degrade_after_timeouts: int = 3,
+        degrade_backlog: _t.Optional[int] = None,
     ) -> None:
         self.env = env
         self.client_id = client_id
@@ -132,6 +135,30 @@ class RedbudClient(FileSystemAPI):
             commit_mode, env, rpc, self.commit_queue, obs=obs, node=self._node
         )
 
+        # Graceful degradation (§"Failure model" in DESIGN.md): when the
+        # MDS looks unreachable (consecutive RPC timeouts) or the commit
+        # backlog piles up past a threshold, delayed-commit clients fall
+        # back to synchronous ordered writes -- each update then waits
+        # for data stability and its own commit inline, bounding the
+        # volatile commit backlog until the MDS answers again.  Only
+        # armed when the RPC stub has a retry policy; without one, a
+        # fault-free run never sees timeouts and must stay byte-identical
+        # to pre-fault behaviour.
+        self._sync_fallback: _t.Optional[SynchronousCommitProtocol] = None
+        if needs_queue and rpc.retry is not None:
+            self._sync_fallback = SynchronousCommitProtocol(
+                env, rpc, obs=obs, node=self._node
+            )
+        self.degrade_after_timeouts = degrade_after_timeouts
+        self.degrade_backlog = (
+            degrade_backlog
+            if degrade_backlog is not None
+            else max(16, commit_queue_capacity // 8)
+        )
+        self.degraded = False
+        self.degrade_transitions = 0
+        self.degraded_writes = 0
+
         #: All not-yet-committed records per file (fsync waits on these).
         self._pending_records: _t.Dict[int, _t.Set[CommitRecord]] = {}
         self._refill_event: _t.Optional[Event] = None
@@ -165,7 +192,13 @@ class RedbudClient(FileSystemAPI):
     # FileSystemAPI
     # ------------------------------------------------------------------
 
+    def _halt_forever(self) -> Event:
+        """A dead node never completes anything: park the caller."""
+        return Event(self.env)
+
     def create(self, name: str) -> _t.Generator:
+        if self.crashed:
+            yield self._halt_forever()
         meta = yield self.rpc.call("create", CreatePayload(name=name))
         return meta.file_id
 
@@ -178,6 +211,8 @@ class RedbudClient(FileSystemAPI):
     ) -> _t.Generator:
         if length <= 0:
             raise ValueError(f"write length must be positive, got {length}")
+        if self.crashed:
+            yield self._halt_forever()
         self.writes += 1
         self.bytes_written += length
 
@@ -267,7 +302,11 @@ class RedbudClient(FileSystemAPI):
                     )
                 data_events.append(event)
 
-        record = yield from self.protocol.finish_update(
+        protocol: CommitProtocol = self.protocol
+        if self._update_degraded():
+            protocol = self._sync_fallback
+            self.degraded_writes += 1
+        record = yield from protocol.finish_update(
             file_id, extents, data_events, update_id=update_id
         )
         if record is not None:
@@ -278,6 +317,8 @@ class RedbudClient(FileSystemAPI):
     def read(self, file_id: int, offset: int, length: int) -> _t.Generator:
         if length <= 0:
             raise ValueError(f"read length must be positive, got {length}")
+        if self.crashed:
+            yield self._halt_forever()
         self.reads += 1
         self.bytes_read += length
 
@@ -331,6 +372,8 @@ class RedbudClient(FileSystemAPI):
         return None
 
     def stat(self, file_id: int) -> _t.Generator:
+        if self.crashed:
+            yield self._halt_forever()
         meta = yield self.rpc.call(
             "getattr", GetattrPayload(file_id=file_id)
         )
@@ -432,6 +475,46 @@ class RedbudClient(FileSystemAPI):
                 if not waiter.triggered:
                     waiter.succeed()
 
+    def _update_degraded(self) -> bool:
+        """Evaluate (with hysteresis) the delayed->sync fallback state."""
+        if self._sync_fallback is None:
+            return False
+        backlog = (
+            len(self.commit_queue) if self.commit_queue is not None else 0
+        )
+        if not self.degraded:
+            if (
+                self.rpc.consecutive_timeouts >= self.degrade_after_timeouts
+                or backlog >= self.degrade_backlog
+            ):
+                self.degraded = True
+                self.degrade_transitions += 1
+                if self.obs is not None:
+                    self.obs.tracer.instant(
+                        "degrade_enter", "fault",
+                        node=self._node, actor="app",
+                        timeouts=self.rpc.consecutive_timeouts,
+                        backlog=backlog,
+                    )
+                    self.obs.registry.counter("client.degrade_enter").inc()
+        else:
+            # Leave only once the MDS answers again *and* the backlog has
+            # drained well below the entry threshold (hysteresis).
+            if (
+                self.rpc.consecutive_timeouts == 0
+                and backlog <= self.degrade_backlog // 2
+            ):
+                self.degraded = False
+                self.degrade_transitions += 1
+                if self.obs is not None:
+                    self.obs.tracer.instant(
+                        "degrade_exit", "fault",
+                        node=self._node, actor="app",
+                        backlog=backlog,
+                    )
+                    self.obs.registry.counter("client.degrade_exit").inc()
+        return self.degraded
+
     def _on_record_committed(self, record: CommitRecord) -> None:
         pending = self._pending_records.get(record.file_id)
         if pending is not None:
@@ -471,3 +554,30 @@ class RedbudClient(FileSystemAPI):
         if self.thread_pool is not None:
             self.thread_pool.stop()
         self._pending_records.clear()
+
+    def die(self) -> int:
+        """Single-node death while the rest of the cluster keeps running.
+
+        Unlike :meth:`crash` (a whole-cluster power-loss snapshot taken
+        just before the simulation stops), ``die`` models one client
+        failing mid-run: its volatile state is lost, its queued block
+        requests vanish with it, and its RPC stub goes silent forever --
+        so in-flight retry loops park instead of retransmitting.  The
+        node's uncommitted and delegated space is *not* returned here;
+        that is exactly what the MDS's lease GC reclaims once the dead
+        client's lease expires.  Returns the number of queued block
+        requests lost with the node.
+        """
+        if self.crashed:
+            return 0
+        self.crash()
+        self.rpc.stop()
+        lost_io = self.blockdev.scheduler.drop_all()
+        if self.obs is not None:
+            self.obs.tracer.instant(
+                "client_death", "fault",
+                node=self._node, actor="app",
+                lost_block_requests=lost_io,
+            )
+            self.obs.registry.counter("faults.client_deaths").inc()
+        return lost_io

@@ -35,7 +35,9 @@ class CrashState:
     stable: IntervalSet
     #: Commit records that were sitting in client queues (lost work).
     lost_commit_records: int
-    #: Block requests still queued at the array (lost data writes).
+    #: Block requests that had not finished service at the crash: still
+    #: queued in a client elevator *or* dispatched to a spindle and
+    #: mid-service (lost data writes either way).
     lost_block_requests: int
 
 
@@ -51,8 +53,15 @@ def crash_cluster(
             )
         env.run(until=at_time)
 
+    # The stable/lost boundary is the *completion* of a request's disk
+    # service (when the array adds it to the stable set): requests still
+    # queued in a client's elevator AND requests already dispatched to a
+    # spindle but mid-service are both lost -- a torn in-flight write
+    # contributes nothing durable in this model.  Count both sides of
+    # that boundary so `lost_block_requests` matches it exactly; merged
+    # groups count once, consistent with `len(scheduler)`.
     lost_records = 0
-    lost_requests = 0
+    lost_requests = len(cluster.array.in_flight)
     for client in cluster.clients:
         lost_requests += len(client.blockdev.scheduler)
         if client.commit_queue is not None:

@@ -117,6 +117,9 @@ def commit_daemon(
                 degree=len(batch),
                 files=[record.file_id for record in batch],
             )
+        # Each checked-out record becomes exactly one commit op, stamped
+        # with a client-unique op id.  A retried RPC resends the same ops
+        # (same ids), which is what lets the MDS suppress replays.
         payload = CommitPayload(
             ops=[
                 CommitOp(
@@ -124,6 +127,7 @@ def commit_daemon(
                     extents=record.extents,
                     enqueue_time=record.enqueue_time,
                     trace_ids=record.trace_ids,
+                    op_id=ctx.rpc.next_op_id(),
                 )
                 for record in batch
             ]

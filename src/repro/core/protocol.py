@@ -107,6 +107,7 @@ class SynchronousCommitProtocol(CommitProtocol):
                     extents=extents,
                     enqueue_time=self.env.now,
                     trace_ids=trace_ids,
+                    op_id=self.rpc.next_op_id(),
                 )
             ]
         )

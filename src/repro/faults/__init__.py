@@ -1,0 +1,36 @@
+"""Deterministic, seeded fault injection for the simulator.
+
+The package has two halves:
+
+- :mod:`repro.faults.spec` -- :class:`FaultSpec`, a declarative fault
+  schedule parsed from the ``--faults`` CLI string (message loss and
+  delay probabilities, partition windows, timed MDS restarts and client
+  deaths).
+- :mod:`repro.faults.injector` -- :class:`FaultInjector`, which arms a
+  built cluster with a spec: per-link fault models drawing from named
+  RNG streams (same seed + same spec => identical fault sequence), plus
+  scheduled processes firing the timed faults.
+
+The protocol machinery that survives the injected faults lives where the
+protocols live: RPC timeout/retry in :mod:`repro.net.rpc`, duplicate
+suppression in :mod:`repro.mds.server`, lease-based reclamation in
+:mod:`repro.mds.lease_gc`, and delayed->synchronous degradation in
+:mod:`repro.client.client`.
+"""
+
+from repro.faults.injector import FaultInjector, LinkFaults
+from repro.faults.spec import (
+    ClientDeath,
+    FaultSpec,
+    MdsRestart,
+    Partition,
+)
+
+__all__ = [
+    "ClientDeath",
+    "FaultInjector",
+    "FaultSpec",
+    "LinkFaults",
+    "MdsRestart",
+    "Partition",
+]

@@ -1,0 +1,235 @@
+"""Arm a built cluster with a :class:`~repro.faults.spec.FaultSpec`.
+
+Determinism contract: every random decision draws from a named child
+stream of the cluster's root RNG (``root.stream("faults", link_name)``),
+and link verdicts are drawn in the link's own send order -- which the
+event kernel already makes deterministic.  Same seed + same spec =>
+identical fault sequence, byte-identical traces.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+from dataclasses import dataclass, field
+
+from repro.faults.spec import ClientDeath, FaultSpec, MdsRestart, Partition
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.fs.redbud import RedbudCluster
+    from repro.net.link import Link
+
+
+@dataclass
+class FaultStats:
+    """Shared counters across all fault sources of one injector."""
+
+    messages_dropped: int = 0
+    messages_delayed: int = 0
+    partition_drops: int = 0
+    mds_restarts: int = 0
+    client_deaths: int = 0
+
+    @property
+    def total_injected(self) -> int:
+        """Every individual fault event injected into the run."""
+        return (
+            self.messages_dropped
+            + self.messages_delayed
+            + self.partition_drops
+            + self.mds_restarts
+            + self.client_deaths
+        )
+
+
+@dataclass
+class LinkFaults:
+    """Per-link fault model consulted by :meth:`repro.net.link.Link.send`.
+
+    ``verdict`` returns ``(dropped, extra_delay)``.  Partition windows
+    drop unconditionally (no RNG draw, so messages outside the window
+    see the same draw sequence whether or not a partition is configured
+    elsewhere in time); otherwise one draw decides loss and -- for
+    surviving messages -- one more decides delay.
+    """
+
+    rng: _t.Any
+    loss: float = 0.0
+    delay_prob: float = 0.0
+    delay_max: float = 0.0
+    #: Partition windows [(start, end), ...] during which every message
+    #: on this link is dropped.
+    windows: _t.List[_t.Tuple[float, float]] = field(default_factory=list)
+    stats: _t.Optional[FaultStats] = None
+    obs: _t.Optional[_t.Any] = None
+
+    def verdict(self, link: "Link") -> _t.Tuple[bool, float]:
+        now = link.env.now
+        for start, end in self.windows:
+            if start <= now < end:
+                if self.stats is not None:
+                    self.stats.partition_drops += 1
+                self._record(link, "partition_drop")
+                return True, 0.0
+        if self.loss > 0.0 and self.rng.random() < self.loss:
+            if self.stats is not None:
+                self.stats.messages_dropped += 1
+            self._record(link, "message_drop")
+            return True, 0.0
+        if self.delay_prob > 0.0 and self.rng.random() < self.delay_prob:
+            extra = self.rng.uniform(0.0, self.delay_max)
+            if self.stats is not None:
+                self.stats.messages_delayed += 1
+            self._record(link, "message_delay", extra=extra)
+            return False, extra
+        return False, 0.0
+
+    def _record(self, link: "Link", what: str, **args: _t.Any) -> None:
+        if self.obs is None:
+            return
+        self.obs.tracer.instant(
+            what, "fault", node=link.name, actor="net", **args
+        )
+        self.obs.registry.counter(f"faults.{what}").inc()
+
+
+class FaultInjector:
+    """Installs a fault schedule on a Redbud cluster.
+
+    Requires the cluster's clients to have an RPC retry policy when the
+    spec can drop or stall messages -- without one, the first lost RPC
+    parks its caller forever.
+    """
+
+    def __init__(self, cluster: "RedbudCluster", spec: FaultSpec) -> None:
+        self.cluster = cluster
+        self.spec = spec
+        self.stats = FaultStats()
+        self._obs = cluster.obs
+        env = cluster.env
+
+        needs_retry = (
+            spec.loss > 0.0
+            or spec.delay_prob > 0.0
+            or spec.partitions
+            or spec.mds_restarts
+        )
+        if needs_retry and any(
+            client.rpc.retry is None for client in cluster.clients
+        ):
+            raise ValueError(
+                "fault spec can lose or stall RPCs but the cluster has no "
+                "retry policy; build it with ClusterConfig(retry=...)"
+            )
+
+        # Per-direction link fault models, each on its own RNG stream.
+        rng_root = cluster.root_rng
+        self._links: _t.List["Link"] = []
+        self._per_client: _t.Dict[int, _t.List[LinkFaults]] = {}
+        for cid, uplink in enumerate(cluster.uplinks):
+            downlink = cluster.mds.downlinks[cid]
+            models = []
+            for link in (uplink, downlink):
+                model = LinkFaults(
+                    rng=rng_root.stream("faults", link.name),
+                    loss=spec.loss,
+                    delay_prob=spec.delay_prob,
+                    delay_max=spec.delay_max,
+                    stats=self.stats,
+                    obs=self._obs,
+                )
+                link.faults = model
+                self._links.append(link)
+                models.append(model)
+            self._per_client[cid] = models
+
+        for partition in spec.partitions:
+            if partition.client_id not in self._per_client:
+                raise ValueError(
+                    f"partition names client {partition.client_id}, but the "
+                    f"cluster has {len(cluster.clients)} clients"
+                )
+            for model in self._per_client[partition.client_id]:
+                model.windows.append((partition.start, partition.end))
+            env.process(
+                self._partition_marker(partition),
+                name=f"fault-partition-{partition.client_id}",
+            )
+
+        for restart in spec.mds_restarts:
+            env.process(
+                self._mds_restart(restart),
+                name=f"fault-mds-restart-{restart.at}",
+            )
+
+        for death in spec.client_deaths:
+            if death.client_id >= len(cluster.clients):
+                raise ValueError(
+                    f"client_death names client {death.client_id}, but the "
+                    f"cluster has {len(cluster.clients)} clients"
+                )
+            env.process(
+                self._client_death(death),
+                name=f"fault-client-death-{death.client_id}",
+            )
+
+    # -- timed fault processes ---------------------------------------------
+
+    def _partition_marker(self, partition: Partition) -> _t.Generator:
+        """Emit obs events at the partition edges (drops are counted by
+        the link models as messages actually hit the window)."""
+        env = self.cluster.env
+        yield env.timeout(max(0.0, partition.start - env.now))
+        self._instant(
+            "partition_start", client=partition.client_id,
+            until=partition.end,
+        )
+        yield env.timeout(max(0.0, partition.end - env.now))
+        self._instant("partition_end", client=partition.client_id)
+
+    def _mds_restart(self, restart: MdsRestart) -> _t.Generator:
+        env = self.cluster.env
+        yield env.timeout(max(0.0, restart.at - env.now))
+        self.stats.mds_restarts += 1
+        self.cluster.mds.crash()
+        yield env.timeout(restart.downtime)
+        self.cluster.mds.restart()
+
+    def _client_death(self, death: ClientDeath) -> _t.Generator:
+        env = self.cluster.env
+        yield env.timeout(max(0.0, death.at - env.now))
+        # A death during workload setup would park the victim's setup
+        # process and hang the run harness's all-clients setup barrier
+        # forever, so deaths are deferred until setup has completed.
+        while not getattr(self.cluster, "setup_complete", True):
+            yield env.timeout(0.01)
+        self.stats.client_deaths += 1
+        self.cluster.clients[death.client_id].die()
+
+    def _instant(self, name: str, **args: _t.Any) -> None:
+        if self._obs is None:
+            return
+        self._obs.tracer.instant(
+            name, "fault", node="injector", actor="injector", **args
+        )
+        self._obs.registry.counter(f"faults.{name}").inc()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def stop(self) -> None:
+        """Stop injecting message-level faults (post-schedule settling).
+
+        Detaches the link fault models so retries succeed and the system
+        can drain; already-scheduled timed faults still fire.
+        """
+        for link in self._links:
+            link.faults = None
+
+    def summary(self) -> _t.Dict[str, int]:
+        return {
+            "messages_dropped": self.stats.messages_dropped,
+            "messages_delayed": self.stats.messages_delayed,
+            "partition_drops": self.stats.partition_drops,
+            "mds_restarts": self.stats.mds_restarts,
+            "client_deaths": self.stats.client_deaths,
+            "total_injected": self.stats.total_injected,
+        }

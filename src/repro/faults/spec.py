@@ -1,0 +1,206 @@
+"""Declarative fault schedules and the ``--faults`` mini-language.
+
+A spec is a comma-separated list of clauses::
+
+    loss=P                 drop each message with probability P (all links)
+    delay=P:MAX            delay a fraction P of messages by an extra
+                           uniform(0, MAX) seconds -- since deliveries are
+                           independent timeouts, this also reorders them
+    partition=CID@T0-T1    cut client CID off (both directions) during
+                           the virtual-time window [T0, T1)
+    mds_restart@T:D        crash the MDS at time T, restart it D seconds
+                           later (inbox contents are lost)
+    client_death=CID@T     kill client CID at time T (volatile state and
+                           queued I/O lost; lease GC reclaims its space)
+
+Example: ``loss=0.05,delay=0.1:0.004,mds_restart@0.5:0.2,client_death=2@0.8``.
+
+Multiple ``partition``/``mds_restart``/``client_death`` clauses may be
+given.  An empty string parses to the empty spec, which injects nothing.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Partition:
+    """One client's network cut off during ``[start, end)``."""
+
+    client_id: int
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.client_id < 0:
+            raise ValueError(f"bad client id {self.client_id}")
+        if not 0 <= self.start < self.end:
+            raise ValueError(
+                f"bad partition window [{self.start}, {self.end})"
+            )
+
+
+@dataclass(frozen=True)
+class MdsRestart:
+    """MDS crash at ``at``, restart ``downtime`` seconds later."""
+
+    at: float
+    downtime: float
+
+    def __post_init__(self) -> None:
+        if self.at < 0 or self.downtime <= 0:
+            raise ValueError(
+                f"bad mds_restart at={self.at} downtime={self.downtime}"
+            )
+
+
+@dataclass(frozen=True)
+class ClientDeath:
+    """Client ``client_id`` dies at ``at`` and never comes back."""
+
+    client_id: int
+    at: float
+
+    def __post_init__(self) -> None:
+        if self.client_id < 0 or self.at < 0:
+            raise ValueError(
+                f"bad client_death client={self.client_id} at={self.at}"
+            )
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """A complete fault schedule for one run."""
+
+    #: Per-message drop probability on every link.
+    loss: float = 0.0
+    #: Fraction of messages receiving an extra delay.
+    delay_prob: float = 0.0
+    #: Upper bound of the uniform extra delay, seconds.
+    delay_max: float = 0.0
+    partitions: _t.Tuple[Partition, ...] = field(default_factory=tuple)
+    mds_restarts: _t.Tuple[MdsRestart, ...] = field(default_factory=tuple)
+    client_deaths: _t.Tuple[ClientDeath, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.loss < 1.0:
+            raise ValueError(f"loss must be in [0, 1), got {self.loss}")
+        if not 0.0 <= self.delay_prob <= 1.0:
+            raise ValueError(
+                f"delay probability must be in [0, 1], got {self.delay_prob}"
+            )
+        if self.delay_max < 0:
+            raise ValueError(f"delay_max must be >= 0, got {self.delay_max}")
+        if self.delay_prob > 0 and self.delay_max <= 0:
+            raise ValueError("delay clause needs a positive max delay")
+
+    @property
+    def empty(self) -> bool:
+        """True when this spec injects nothing at all."""
+        return (
+            self.loss == 0.0
+            and self.delay_prob == 0.0
+            and not self.partitions
+            and not self.mds_restarts
+            and not self.client_deaths
+        )
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultSpec":
+        """Parse the ``--faults`` mini-language (see module docstring)."""
+        loss = 0.0
+        delay_prob = 0.0
+        delay_max = 0.0
+        partitions: _t.List[Partition] = []
+        mds_restarts: _t.List[MdsRestart] = []
+        client_deaths: _t.List[ClientDeath] = []
+        for raw in text.split(","):
+            clause = raw.strip()
+            if not clause:
+                continue
+            try:
+                if clause.startswith("loss="):
+                    loss = float(clause[len("loss="):])
+                elif clause.startswith("delay="):
+                    prob_s, max_s = clause[len("delay="):].split(":")
+                    delay_prob = float(prob_s)
+                    delay_max = float(max_s)
+                elif clause.startswith("partition="):
+                    cid_s, window = clause[len("partition="):].split("@")
+                    start_s, end_s = window.split("-")
+                    partitions.append(
+                        Partition(
+                            client_id=int(cid_s),
+                            start=float(start_s),
+                            end=float(end_s),
+                        )
+                    )
+                elif clause.startswith("mds_restart@"):
+                    at_s, down_s = clause[len("mds_restart@"):].split(":")
+                    mds_restarts.append(
+                        MdsRestart(at=float(at_s), downtime=float(down_s))
+                    )
+                elif clause.startswith("client_death="):
+                    cid_s, at_s = clause[len("client_death="):].split("@")
+                    client_deaths.append(
+                        ClientDeath(client_id=int(cid_s), at=float(at_s))
+                    )
+                else:
+                    raise ValueError(f"unknown fault clause {clause!r}")
+            except (ValueError, TypeError) as exc:
+                if "unknown fault clause" in str(exc):
+                    raise
+                raise ValueError(
+                    f"malformed fault clause {clause!r}: {exc}"
+                ) from exc
+        return cls(
+            loss=loss,
+            delay_prob=delay_prob,
+            delay_max=delay_max,
+            partitions=tuple(partitions),
+            mds_restarts=tuple(mds_restarts),
+            client_deaths=tuple(client_deaths),
+        )
+
+    @classmethod
+    def random(
+        cls,
+        rng: _t.Any,
+        duration: float,
+        num_clients: int,
+    ) -> "FaultSpec":
+        """Draw a randomized schedule (property-test harness).
+
+        ``rng`` is a ``repro.sim.rng`` stream; every draw is deterministic
+        per seed.  The schedule always exercises all four fault families:
+        background loss + delay, one partition window, one MDS restart,
+        and one client death (never the same client as the partition, so
+        the partitioned client lives to demonstrate fencing).
+        """
+        loss = 0.02 + 0.06 * rng.random()
+        delay_prob = 0.05 + 0.10 * rng.random()
+        delay_max = 0.002 + 0.004 * rng.random()
+        victims = list(range(num_clients))
+        dead = victims[int(rng.integers(0, len(victims)))]
+        partitioned = victims[int(rng.integers(0, len(victims)))]
+        if partitioned == dead:
+            partitioned = (dead + 1) % num_clients
+        p_start = duration * (0.1 + 0.3 * rng.random())
+        p_len = duration * (0.1 + 0.2 * rng.random())
+        r_at = duration * (0.2 + 0.4 * rng.random())
+        r_down = duration * (0.05 + 0.1 * rng.random())
+        d_at = duration * (0.3 + 0.4 * rng.random())
+        return cls(
+            loss=loss,
+            delay_prob=delay_prob,
+            delay_max=delay_max,
+            partitions=(
+                Partition(
+                    client_id=partitioned, start=p_start, end=p_start + p_len
+                ),
+            ),
+            mds_restarts=(MdsRestart(at=r_at, downtime=r_down),),
+            client_deaths=(ClientDeath(client_id=dead, at=d_at),),
+        )

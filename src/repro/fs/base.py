@@ -69,6 +69,11 @@ class BaseCluster:
         self.obs = obs
         if obs is not None:
             obs.attach(env)
+        #: True once ``run_workload``'s setup barrier has passed.  Fault
+        #: injection reads this to defer client deaths out of the setup
+        #: phase (a dead client would park its setup process and hang
+        #: the all-of barrier forever).
+        self.setup_complete = False
 
     # -- subclass surface ------------------------------------------------------
 
@@ -131,6 +136,7 @@ class BaseCluster:
             for ctx in contexts
         ]
         env.run(until=env.all_of(setups))
+        self.setup_complete = True
         for ctx in contexts:
             ctx.in_setup = False
 

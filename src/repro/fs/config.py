@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from repro.core.compound import CompoundPolicy
 from repro.core.thread_pool import ThreadPoolPolicy
 from repro.mds.server import MdsParameters
+from repro.net.rpc import RetryPolicy
 from repro.storage.disk import DiskParameters
 
 
@@ -57,6 +58,20 @@ class ClusterConfig:
     )
     thread_pool: ThreadPoolPolicy = field(default_factory=ThreadPoolPolicy)
     compound: CompoundPolicy = field(default_factory=CompoundPolicy)
+
+    #: RPC timeout/retry policy (fault tolerance).  ``None`` -- the
+    #: fault-free default -- disables timeouts entirely; the RPC path is
+    #: then event-for-event identical to a build without the fault
+    #: machinery.  Required (non-None) when running under a fault spec
+    #: that can lose or stall messages.
+    retry: _t.Optional[RetryPolicy] = None
+    #: Delayed->synchronous degradation: consecutive RPC timeouts before
+    #: a client falls back to synchronous ordered writes.  Only armed
+    #: when ``retry`` is set.
+    degrade_after_timeouts: int = 3
+    #: Commit-queue backlog that also triggers the fallback (None =
+    #: derive from ``commit_queue_capacity``).
+    degrade_backlog: _t.Optional[int] = None
 
     #: Allocation groups on the volume.
     num_allocation_groups: int = 8

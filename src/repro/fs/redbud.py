@@ -100,6 +100,12 @@ class RedbudCluster(BaseCluster):
                 cid,
                 RpcTransport(env, uplink, downlink, self.port),
                 obs=obs,
+                retry=config.retry,
+                retry_rng=(
+                    self.root_rng.stream("rpc-retry", cid)
+                    if config.retry is not None
+                    else None
+                ),
             )
             delegation = (
                 DoubleSpacePool(chunk_size=config.delegation_chunk)
@@ -120,6 +126,8 @@ class RedbudCluster(BaseCluster):
                 fixed_compound_degree=config.fixed_compound_degree,
                 dirty_limit=config.dirty_limit,
                 obs=obs,
+                degrade_after_timeouts=config.degrade_after_timeouts,
+                degrade_backlog=config.degrade_backlog,
             )
             self.clients.append(client)
 
@@ -161,6 +169,27 @@ class RedbudCluster(BaseCluster):
             "cache_hits": sum(c.cache.hits for c in self.clients),
             "cache_misses": sum(c.cache.misses for c in self.clients),
         }
+        if self.config.retry is not None:
+            extras["rpc_retries"] = sum(
+                c.rpc.retries for c in self.clients
+            )
+            extras["rpc_timeouts"] = sum(
+                c.rpc.timeouts for c in self.clients
+            )
+            extras["degraded_writes"] = sum(
+                c.degraded_writes for c in self.clients
+            )
+            extras["mds_restarts"] = self.mds.restarts
+            extras["duplicate_commits_suppressed"] = (
+                self.mds.duplicate_commits_suppressed
+            )
+            extras["duplicate_requests_suppressed"] = (
+                self.mds.duplicate_requests_suppressed
+            )
+            if self.mds.gc is not None:
+                extras["lease_gc_bytes_reclaimed"] = (
+                    self.mds.gc.bytes_reclaimed_total
+                )
         if self.config.commit_mode in ("delayed", "unordered"):
             extras["pool_samples"] = [
                 c.thread_pool.samples for c in self.clients

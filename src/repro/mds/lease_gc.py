@@ -87,11 +87,31 @@ class LeaseGarbageCollector:
         self.leases = LeaseTable()
         self.events: _t.List[GcEvent] = []
         self.bytes_reclaimed_total = 0
+        #: True while the MDS is crashed: a dead MDS collects nothing.
+        self.paused = False
         self._process = env.process(self._run(), name="mds-lease-gc")
 
     def renew(self, client_id: int) -> None:
         """Record activity from ``client_id`` (called per RPC)."""
         self.leases.renew(client_id, self.env.now)
+
+    def pause(self) -> None:
+        """Suspend collection (MDS crash)."""
+        self.paused = True
+
+    def resume(self) -> None:
+        """Restart collection after an MDS restart with a lease grace.
+
+        All known leases are renewed to *now*, mirroring the NFSv4 grace
+        period: clients could not renew while the server was down, so
+        none may be declared dead until a full lease duration has passed
+        after the restart.  Genuinely dead clients simply stay silent and
+        expire again.
+        """
+        self.paused = False
+        now = self.env.now
+        for client_id in self.leases.last_seen:
+            self.leases.renew(client_id, now)
 
     def _run(self) -> _t.Generator:
         while True:
@@ -100,6 +120,8 @@ class LeaseGarbageCollector:
 
     def collect(self) -> int:
         """One scan: reclaim every expired client's orphan space."""
+        if self.paused:
+            return 0
         reclaimed_now = 0
         for client_id in self.leases.expired(
             self.env.now, self.lease_duration

@@ -23,7 +23,7 @@ from dataclasses import dataclass
 
 from repro.mds.allocation import SpaceManager
 from repro.mds.extent import Chunk, Extent
-from repro.mds.namespace import Namespace
+from repro.mds.namespace import FileExistsMdsError, Namespace
 from repro.net.link import Link
 from repro.net.messages import (
     CommitPayload,
@@ -36,6 +36,7 @@ from repro.net.messages import (
     UnlinkPayload,
 )
 from repro.net.rpc import RpcServerPort
+from repro.sim.process import Interrupt
 from repro.sim.resources import Resource
 
 if _t.TYPE_CHECKING:  # pragma: no cover
@@ -108,6 +109,26 @@ class MetadataServer:
         self.ops_processed = 0
         self.stale_commits = 0
         self.busy_time = 0.0
+        #: True between :meth:`crash` and :meth:`restart`.
+        self.down = False
+        self.restarts = 0
+        self.requests_lost_in_crashes = 0
+        #: Exactly-once commit application.  Keyed ``(client_id, op_id)``;
+        #: holds the op's original result so a retransmitted commit gets
+        #: the same answer without re-applying.  Modelled as *durable*
+        #: (journalled with the metadata it guards, so it survives MDS
+        #: restarts) -- see DESIGN.md "Failure model".
+        self._commit_results: _t.Dict[_t.Tuple[int, int], bool] = {}
+        #: Audit trail for tests: how many times each commit op was
+        #: actually applied (must never exceed 1).
+        self.commit_apply_counts: _t.Dict[_t.Tuple[int, int], int] = {}
+        self.duplicate_commits_suppressed = 0
+        #: NFS-style duplicate request cache for whole messages, keyed
+        #: ``(client_id, xid)``.  Volatile (cleared on crash): commit
+        #: safety never depends on it -- the durable per-op table above
+        #: and the defensive commit rule do.
+        self._reply_cache: _t.Dict[_t.Tuple[int, int], _t.Any] = {}
+        self.duplicate_requests_suppressed = 0
         from repro.mds.lease_gc import LeaseGarbageCollector
 
         self.gc: _t.Optional[LeaseGarbageCollector] = None
@@ -118,14 +139,77 @@ class MetadataServer:
                 lease_duration=params.lease_duration,
                 scan_interval=params.gc_scan_interval,
             )
-        self._daemons = [
-            env.process(self._daemon_loop(i), name=f"mds-daemon-{i}")
-            for i in range(params.num_daemons)
+        self._daemons = self._spawn_daemons()
+
+    def _spawn_daemons(self) -> _t.List[_t.Any]:
+        return [
+            self.env.process(
+                self._daemon_loop(i), name=f"mds-daemon-{i}"
+            )
+            for i in range(self.params.num_daemons)
         ]
+
+    # -- crash / restart -----------------------------------------------------
+
+    def crash(self) -> int:
+        """Fail-stop the MDS: lose the inbox, kill the daemon threads.
+
+        Queued and in-flight (being parsed/applied) requests vanish with
+        the server's memory; senders recover them via RPC retry.  The
+        commit duplicate-suppression table and all applied metadata are
+        journalled and survive.  Returns the number of inbox requests
+        lost.
+        """
+        if self.down:
+            return 0
+        self.down = True
+        lost = self.port.fail()
+        self.requests_lost_in_crashes += lost
+        for proc in self._daemons:
+            if proc.is_alive:
+                proc.interrupt("mds-crash")
+        self._daemons = []
+        self._active = 0
+        # The duplicate *request* cache is in-memory state; it dies here.
+        self._reply_cache.clear()
+        if self.gc is not None:
+            self.gc.pause()
+        if self.obs is not None:
+            self.obs.tracer.instant(
+                "mds_crash", "fault", node="mds", actor="mds",
+                requests_lost=lost,
+            )
+            self.obs.registry.counter("faults.mds_crashes").inc()
+        return lost
+
+    def restart(self) -> None:
+        """Bring a crashed MDS back: accept requests, respawn daemons."""
+        if not self.down:
+            return
+        self.down = False
+        self.restarts += 1
+        self.port.resume()
+        self._daemons = self._spawn_daemons()
+        if self.gc is not None:
+            self.gc.resume()
+        if self.obs is not None:
+            self.obs.tracer.instant(
+                "mds_restart", "fault", node="mds", actor="mds",
+            )
+            self.obs.registry.counter("faults.mds_restarts").inc()
 
     # -- daemon loop ---------------------------------------------------------
 
     def _daemon_loop(self, daemon_id: int) -> _t.Generator:
+        try:
+            yield from self._daemon_iterations(daemon_id)
+        except Interrupt:
+            # MDS crash: this thread dies where it stands.  Any held or
+            # queued namespace-lock request is released/withdrawn by the
+            # ``with`` context manager on unwind.
+            return
+
+    def _daemon_iterations(self, daemon_id: int) -> _t.Generator:
         while True:
             message: RpcMessage = yield self.port.next_request()
             self._active += 1
@@ -181,10 +265,38 @@ class MetadataServer:
     # -- operation semantics -------------------------------------------------
 
     def _apply(self, message: RpcMessage) -> _t.Any:
+        # Duplicate request cache: a retransmission of a request we
+        # already served gets the original answer instead of a second
+        # application (xid 0 = hand-built message, no caching).
+        cache_key = (message.client_id, message.xid)
+        if message.xid and cache_key in self._reply_cache:
+            self.duplicate_requests_suppressed += 1
+            if self.obs is not None:
+                self.obs.registry.counter("mds.duplicate_requests").inc()
+            return self._reply_cache[cache_key]
+        result = self._apply_payload(message)
+        if message.xid:
+            self._reply_cache[cache_key] = result
+        return result
+
+    def _apply_payload(self, message: RpcMessage) -> _t.Any:
         payload = message.payload
         now = self.env.now
         if isinstance(payload, CreatePayload):
-            return self.namespace.create(payload.name, now)
+            try:
+                return self.namespace.create(payload.name, now)
+            except FileExistsMdsError:
+                # NFS UNCHECKED-create semantics: a retransmitted create
+                # whose original applied but whose reply-cache entry was
+                # lost (reply dropped + cache evicted by a crash, or the
+                # duplicate raced the original through the inbox) must
+                # succeed with the existing file, not error out.
+                self.duplicate_requests_suppressed += 1
+                if self.obs is not None:
+                    self.obs.registry.counter(
+                        "mds.duplicate_requests"
+                    ).inc()
+                return self.namespace.lookup(payload.name)
         if isinstance(payload, GetattrPayload):
             if payload.file_id not in self.namespace:
                 return None  # stat of a just-deleted file
@@ -288,42 +400,70 @@ class MetadataServer:
     ) -> _t.List[bool]:
         results = []
         for op in payload.ops:
-            if op.file_id not in self.namespace:
-                # The file was unlinked while this commit was queued or in
-                # flight (delete racing a delayed commit).  Drop the
-                # commit; reclaim only extents this client still holds
-                # uncommitted (an in-place re-commit's space was already
-                # freed by the unlink itself).
-                for extent in op.extents:
-                    self.space.reclaim_if_uncommitted(
-                        client_id, extent.volume_offset, extent.length
-                    )
-                results.append(False)
-                continue
-            # Defensive commit rule: apply an extent only when it is the
-            # committing client's own fresh allocation; skip in-place
-            # rewrites (mapping already correct); drop stale mappings
-            # (e.g. a concurrent writer displaced them meanwhile).
-            applied = []
-            for extent in op.extents:
-                if self.space.holds_uncommitted(
-                    client_id, extent.volume_offset, extent.length
-                ):
-                    applied.append(extent)
-                elif not self.namespace.mapping_matches(op.file_id, extent):
-                    self.stale_commits += 1
-            if applied:
-                freed = self.namespace.commit_extents(
-                    op.file_id, applied, self.env.now
+            # Exactly-once: a commit op retried (alone or re-compounded
+            # with different neighbours) after its first application is
+            # answered from the durable table, never re-applied.
+            dedup_key = None
+            if op.op_id is not None:
+                dedup_key = (client_id, op.op_id)
+                if dedup_key in self._commit_results:
+                    self.duplicate_commits_suppressed += 1
+                    if self.obs is not None:
+                        self.obs.tracer.instant(
+                            "commit_replay_suppressed", "fault",
+                            node="mds", actor="mds",
+                            update_ids=op.trace_ids,
+                            op_id=op.op_id, client=client_id,
+                        )
+                        self.obs.registry.counter(
+                            "mds.duplicate_commits"
+                        ).inc()
+                    results.append(self._commit_results[dedup_key])
+                    continue
+            result = self._commit_op(op, client_id)
+            if dedup_key is not None:
+                self._commit_results[dedup_key] = result
+                self.commit_apply_counts[dedup_key] = (
+                    self.commit_apply_counts.get(dedup_key, 0) + 1
                 )
-                for extent in applied:
-                    self.space.note_committed(
-                        extent.volume_offset, extent.length
-                    )
-                for offset, length in freed:
-                    self.space.free(offset, length)
-            results.append(True)
+            results.append(result)
         return results
+
+    def _commit_op(self, op: _t.Any, client_id: int) -> bool:
+        if op.file_id not in self.namespace:
+            # The file was unlinked while this commit was queued or in
+            # flight (delete racing a delayed commit).  Drop the
+            # commit; reclaim only extents this client still holds
+            # uncommitted (an in-place re-commit's space was already
+            # freed by the unlink itself).
+            for extent in op.extents:
+                self.space.reclaim_if_uncommitted(
+                    client_id, extent.volume_offset, extent.length
+                )
+            return False
+        # Defensive commit rule: apply an extent only when it is the
+        # committing client's own fresh allocation; skip in-place
+        # rewrites (mapping already correct); drop stale mappings
+        # (e.g. a concurrent writer displaced them meanwhile).
+        applied = []
+        for extent in op.extents:
+            if self.space.holds_uncommitted(
+                client_id, extent.volume_offset, extent.length
+            ):
+                applied.append(extent)
+            elif not self.namespace.mapping_matches(op.file_id, extent):
+                self.stale_commits += 1
+        if applied:
+            freed = self.namespace.commit_extents(
+                op.file_id, applied, self.env.now
+            )
+            for extent in applied:
+                self.space.note_committed(
+                    extent.volume_offset, extent.length
+                )
+            for offset, length in freed:
+                self.space.free(offset, length)
+        return True
 
     # -- introspection -----------------------------------------------------------
 

@@ -71,6 +71,15 @@ class Link:
         self.name = name
         self._busy_until = 0.0
         self.stats = LinkStats()
+        #: Optional per-message fault model (see :mod:`repro.faults`).
+        #: ``None`` in fault-free runs -- the send path is then exactly
+        #: the analytic model above, consuming no RNG draws, so a run
+        #: without faults is event-for-event identical to the pre-fault
+        #: code.  When set, the model is consulted once per message and
+        #: may drop it (the delivery event then never fires) or add an
+        #: extra in-flight delay (which also reorders deliveries, since
+        #: each message's delivery is an independent timeout).
+        self.faults: _t.Optional[_t.Any] = None
 
     def send(self, size: int) -> Event:
         """Transmit ``size`` payload bytes; returns the delivery event."""
@@ -90,6 +99,15 @@ class Link:
         self.stats.max_queue_delay = max(
             self.stats.max_queue_delay, queue_delay
         )
+        if self.faults is not None:
+            dropped, extra_delay = self.faults.verdict(self)
+            if dropped:
+                # Lost on the wire: the bytes occupied the link (they
+                # were serialised before being lost) but delivery never
+                # happens -- the event stays pending forever and any
+                # retransmission is the sender's (RPC-layer) job.
+                return Event(self.env)
+            delivery_delay += extra_delay
         return self.env.timeout(delivery_delay)
 
     @property

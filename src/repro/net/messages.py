@@ -78,6 +78,12 @@ class CommitOp:
     #: when tracing is off); carries no wire weight -- sizes derive from
     #: the op count alone.
     trace_ids: _t.Tuple[int, ...] = ()
+    #: Client-unique commit id: the MDS keys its duplicate-suppression
+    #: table on ``(client_id, op_id)`` so a retried or re-compounded
+    #: commit applies exactly once.  ``None`` (legacy/hand-built ops)
+    #: skips suppression.  Always assigned on real clients -- a plain
+    #: counter, so it never perturbs scheduling or RNG state.
+    op_id: _t.Optional[int] = None
 
 
 @dataclass
@@ -148,6 +154,10 @@ class RpcMessage:
     #: RPC span id (both empty/None when tracing is off).
     trace_ids: _t.Tuple[int, ...] = ()
     trace_span_id: _t.Optional[int] = None
+    #: Per-client transaction id (NFS-style xid).  The server's reply
+    #: cache keys on ``(client_id, xid)`` to recognise retransmissions
+    #: of the same request.  ``0`` (hand-built messages) disables it.
+    xid: int = 0
 
     def op_count(self) -> int:
         """Number of logical operations carried (compound degree)."""

@@ -8,11 +8,25 @@ the downlink back.  The caller simply ``yield``\\ s the event returned by
 The inbox is shared by all clients of a server (it is the MDS's request
 queue); per-client uplinks model each client's NIC while a single shared
 downlink pair can model the server's NIC if desired.
+
+Fault tolerance (``repro.faults``) hooks in at two points:
+
+- Replies route through the sending client's :class:`RpcTransport`
+  (registered with the port at client construction), so reply loss and
+  delay faults on the downlink intercept them like any other message.
+- When a :class:`RetryPolicy` is configured, :meth:`RpcClient.call`
+  wraps the exchange in a timeout/retransmit loop with capped
+  exponential backoff and jitter drawn from a dedicated sim RNG stream.
+  Retransmissions reuse the *same* :class:`RpcMessage` (same xid, same
+  commit op ids), which is what makes server-side duplicate suppression
+  possible.  Without a policy the call path is byte-for-byte the
+  original fire-and-forget behaviour.
 """
 
 from __future__ import annotations
 
 import typing as _t
+from dataclasses import dataclass
 
 from repro.net.link import Link
 from repro.net.messages import Payload, RpcMessage
@@ -23,11 +37,52 @@ if _t.TYPE_CHECKING:  # pragma: no cover
     from repro.sim.engine import Environment
 
 
+class RpcTimeoutError(Exception):
+    """A call exhausted ``RetryPolicy.max_attempts`` without a reply."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Timeout/retransmit parameters for :class:`RpcClient`.
+
+    The timeout for attempt *n* (0-based) is::
+
+        min(max_timeout, base_timeout * multiplier**n) * (1 +- jitter)
+
+    with the jitter factor drawn uniformly from ``[-jitter, +jitter]``
+    on the client's dedicated RNG stream (so retry schedules are
+    deterministic per seed and independent of all other model RNG).
+    """
+
+    #: First-attempt timeout in seconds.
+    base_timeout: float = 0.05
+    #: Backoff ceiling in seconds.
+    max_timeout: float = 1.0
+    #: Exponential backoff multiplier per failed attempt.
+    multiplier: float = 2.0
+    #: Uniform jitter fraction applied to each timeout (0 disables).
+    jitter: float = 0.2
+    #: Give up (raise :class:`RpcTimeoutError`) after this many attempts;
+    #: ``None`` retries forever -- the right model for a client that must
+    #: eventually reach a restarting MDS.
+    max_attempts: _t.Optional[int] = None
+
+    def timeout_for(self, attempt: int, rng: _t.Optional[_t.Any]) -> float:
+        timeout = min(
+            self.max_timeout, self.base_timeout * self.multiplier**attempt
+        )
+        if self.jitter > 0 and rng is not None:
+            timeout *= 1.0 + self.jitter * rng.uniform(-1.0, 1.0)
+        return timeout
+
+
 class RpcServerPort:
     """The server side: an inbox of delivered requests.
 
     The MDS daemon threads loop on :meth:`next_request` and answer with
-    :meth:`reply`.
+    :meth:`reply`.  While ``down`` (server crashed), arriving requests
+    are dropped on the floor exactly like messages lost on the wire --
+    the sender's retry machinery is what recovers them.
     """
 
     def __init__(self, env: "Environment") -> None:
@@ -35,6 +90,16 @@ class RpcServerPort:
         self.inbox: Store = Store(env)
         self.requests_received = 0
         self.replies_sent = 0
+        #: Server crashed: drop arriving requests instead of queueing.
+        self.down = False
+        self.dropped_while_down = 0
+        #: Client transports by client id; replies route through these so
+        #: downlink faults can intercept them (see :meth:`reply`).
+        self.transports: _t.Dict[int, "RpcTransport"] = {}
+
+    def register(self, client_id: int, transport: "RpcTransport") -> None:
+        """Attach the reply path for ``client_id``."""
+        self.transports[client_id] = transport
 
     def next_request(self):
         """Event yielding the next queued :class:`RpcMessage`."""
@@ -46,18 +111,68 @@ class RpcServerPort:
 
     def deliver(self, message: RpcMessage) -> None:
         """Called by the transport when a request arrives off the wire."""
+        if self.down:
+            self.dropped_while_down += 1
+            return
         self.requests_received += 1
         message.arrive_time = self.env.now
         self.inbox.put(message)
 
-    def reply(self, message: RpcMessage, result: _t.Any, downlink: Link) -> None:
-        """Send the reply for ``message`` back over ``downlink``."""
+    def fail(self) -> int:
+        """Crash: lose all queued requests and abandon parked consumers.
+
+        Returns the number of in-inbox requests lost.  Waiting gets are
+        cancelled because the daemon processes parked on them are being
+        interrupted; leaving them behind would let a post-restart request
+        complete an orphaned get nobody consumes.
+        """
+        self.down = True
+        lost = len(self.inbox.drain())
+        self.inbox.cancel_gets()
+        return lost
+
+    def resume(self) -> None:
+        """Restart: accept requests again."""
+        self.down = False
+
+    def reply(
+        self,
+        message: RpcMessage,
+        result: _t.Any,
+        downlink: _t.Optional[Link] = None,
+    ) -> None:
+        """Send the reply for ``message`` back to its sender.
+
+        Routes through the client's registered transport so downlink
+        faults (loss/delay) apply to replies too.  ``downlink`` is the
+        legacy direct path, kept for hand-assembled test servers that
+        never register a transport.
+        """
         message.result = result
         self.replies_sent += 1
+        transport = self.transports.get(message.client_id)
+        if transport is not None:
+            transport.send_reply(message)
+            return
+        if downlink is None:
+            raise ValueError(
+                f"no transport registered for client {message.client_id} "
+                "and no fallback downlink given"
+            )
         delivery = downlink.send(message.reply_size())
         delivery.callbacks.append(
-            lambda _ev, msg=message: msg.reply_event.succeed(msg.result)
+            lambda _ev, msg=message: _deliver_reply(msg)
         )
+
+
+def _deliver_reply(message: RpcMessage) -> None:
+    """Complete ``message``'s reply event, ignoring duplicate replies.
+
+    Retransmitted requests can produce several replies for one xid (the
+    server answers each copy it sees); only the first to arrive wins.
+    """
+    if not message.reply_event.triggered:
+        message.reply_event.succeed(message.result)
 
 
 class RpcTransport:
@@ -81,12 +196,21 @@ class RpcTransport:
             lambda _ev, msg=message: self.port.deliver(msg)
         )
 
+    def send_reply(self, message: RpcMessage) -> None:
+        delivery = self.downlink.send(message.reply_size())
+        delivery.callbacks.append(
+            lambda _ev, msg=message: _deliver_reply(msg)
+        )
+
 
 class RpcClient:
     """Client-side stub issuing calls over a transport.
 
-    ``call`` returns the reply event; its value is whatever the server
-    passed to :meth:`RpcServerPort.reply`.
+    ``call`` returns an event whose value is whatever the server passed
+    to :meth:`RpcServerPort.reply`: the raw reply event when no retry
+    policy is set, or a process wrapping the timeout/retransmit loop
+    when one is (a :class:`~repro.sim.process.Process` is itself an
+    event, so callers are oblivious).
     """
 
     def __init__(
@@ -95,14 +219,40 @@ class RpcClient:
         client_id: int,
         transport: RpcTransport,
         obs: _t.Optional[_t.Any] = None,
+        retry: _t.Optional[RetryPolicy] = None,
+        retry_rng: _t.Optional[_t.Any] = None,
     ) -> None:
         self.env = env
         self.client_id = client_id
         self.transport = transport
         #: Observability bundle (``repro.obs.Instrumentation``) or None.
         self.obs = obs
+        self.retry = retry
+        self.retry_rng = retry_rng
         self.calls_sent = 0
         self.ops_sent = 0
+        #: Retransmissions issued / timeouts observed over the run.
+        self.retries = 0
+        self.timeouts = 0
+        #: Timeouts since the last successful reply -- the client's
+        #: degradation logic watches this to detect an unreachable MDS.
+        self.consecutive_timeouts = 0
+        #: Node died: in-flight retry loops park forever (a dead node
+        #: sends nothing), and new calls never complete.
+        self.stopped = False
+        self._next_xid = 1
+        self._next_op_id = 1
+        transport.port.register(client_id, transport)
+
+    def next_op_id(self) -> int:
+        """Allocate a client-unique commit-op id (duplicate suppression)."""
+        op_id = self._next_op_id
+        self._next_op_id += 1
+        return op_id
+
+    def stop(self) -> None:
+        """Silence this stub permanently (single-node death)."""
+        self.stopped = True
 
     def call(
         self,
@@ -120,7 +270,9 @@ class RpcClient:
             send_time=self.env.now,
             data_bytes=data_bytes,
             reply_data_bytes=reply_data_bytes,
+            xid=self._next_xid,
         )
+        self._next_xid += 1
         self.calls_sent += 1
         self.ops_sent += message.op_count()
         if self.obs is not None:
@@ -143,5 +295,52 @@ class RpcClient:
                 lambda _ev, s=span: tracer.end(s)
             )
             self.obs.registry.counter(f"rpc.calls.{kind}").inc()
-        self.transport.send_request(message)
-        return message.reply_event
+        if self.retry is None:
+            self.transport.send_request(message)
+            return message.reply_event
+        return self.env.process(
+            self._call_with_retry(message),
+            name=f"rpc-retry-c{self.client_id}-x{message.xid}",
+        )
+
+    def _call_with_retry(self, message: RpcMessage):
+        """Send, arm a timeout, retransmit on expiry with backoff."""
+        env = self.env
+        policy = self.retry
+        assert policy is not None
+        attempt = 0
+        while True:
+            if self.stopped:
+                # Dead node: never transmits again, never returns.
+                yield Event(env)
+            self.transport.send_request(message)
+            timeout = policy.timeout_for(attempt, self.retry_rng)
+            yield env.any_of([message.reply_event, env.timeout(timeout)])
+            if message.reply_event.triggered:
+                self.consecutive_timeouts = 0
+                return message.reply_event.value
+            attempt += 1
+            self.timeouts += 1
+            self.consecutive_timeouts += 1
+            if self.obs is not None:
+                self.obs.tracer.instant(
+                    "rpc_timeout",
+                    "fault",
+                    node=f"client-{self.client_id}",
+                    actor="rpc",
+                    update_ids=message.trace_ids,
+                    kind=message.kind,
+                    xid=message.xid,
+                    attempt=attempt,
+                )
+                self.obs.registry.counter("rpc.timeouts").inc()
+                self.obs.registry.counter("rpc.retries").inc()
+            if (
+                policy.max_attempts is not None
+                and attempt >= policy.max_attempts
+            ):
+                raise RpcTimeoutError(
+                    f"{message.kind} xid={message.xid} from client "
+                    f"{self.client_id}: no reply after {attempt} attempts"
+                )
+            self.retries += 1

@@ -183,6 +183,34 @@ class Store:
     def get(self) -> StoreGet:
         return StoreGet(self)
 
+    def drain(self) -> _t.List[_t.Any]:
+        """Remove and return every buffered item (crash modelling).
+
+        Queued puts are admitted first (their items are "in the buffer"
+        from the sender's point of view) so the returned list is the
+        complete set of items lost with the store's owner.
+        """
+        while self._puts:
+            put = self._puts.pop(0)
+            self._store_item(put.item)
+            put.succeed()
+        items = list(self.items)
+        self.items.clear()
+        return items
+
+    def cancel_gets(self) -> int:
+        """Abandon every waiting get; their events never fire.
+
+        Needed when the consumers of this store are torn down (an MDS
+        crash interrupts its daemon processes): an interrupted process
+        leaves its ``StoreGet`` behind, and a later ``put`` would succeed
+        that orphaned get -- silently black-holing the item.  Returns the
+        number of gets cancelled.
+        """
+        cancelled = len(self._gets)
+        self._gets.clear()
+        return cancelled
+
     # -- internals ---------------------------------------------------------
 
     def _store_item(self, item: _t.Any) -> None:

@@ -182,6 +182,10 @@ class DiskArray:
         #: when its service completes; queued/in-flight writes are lost on
         #: a crash.
         self.stable = IntervalSet()
+        #: Requests dispatched to a spindle whose service has not yet
+        #: completed (at most one per spindle).  These sit on the lost
+        #: side of the crash boundary together with queued requests.
+        self.in_flight: _t.List[BlockRequest] = []
 
     # -- wiring ---------------------------------------------------------------
 
@@ -274,6 +278,11 @@ class DiskArray:
                 continue
 
             service, seek_distance = self.service_time(spindle, request)
+            # Dispatched but not yet durable: if the cluster dies now,
+            # this request is lost (crash_cluster counts it alongside
+            # still-queued requests).  It leaves in_flight only after its
+            # service completes and writes are in the stable set.
+            self.in_flight.append(request)
             dispatch_span = None
             if self.obs is not None:
                 dispatch_span = self.obs.tracer.begin(
@@ -312,6 +321,7 @@ class DiskArray:
                 )
             if dispatch_span is not None:
                 self.obs.tracer.end(dispatch_span)
+            self.in_flight.remove(request)
             request.complete_all()
 
     def service_time(

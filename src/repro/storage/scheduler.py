@@ -356,6 +356,20 @@ class ElevatorScheduler:
                 earliest = ready
         return earliest
 
+    def drop_all(self) -> int:
+        """Discard every queued request (single-node death).
+
+        The completion events of dropped requests (and of everything
+        merged into them) never fire -- only processes on the dead node
+        wait on them, and those are parked anyway.  Returns the number of
+        queue entries dropped (merged groups count once, matching
+        ``len()``).
+        """
+        dropped = len(self._queue)
+        self._queue.clear()
+        self._starts.clear()
+        return dropped
+
     def expedite_file(self, file_id: int) -> None:
         """Unplug every queued write of ``file_id`` (fsync kicks
         writeback: plugged async writes become dispatchable at once)."""

@@ -1,0 +1,40 @@
+"""The crash stable/lost boundary includes mid-service disk requests.
+
+A block request dispatched to a spindle but not yet completed at the
+crash instant contributed nothing durable (torn in-flight write), so
+``crash_cluster`` must count it as lost alongside everything still
+queued in client elevators.
+"""
+
+from repro.consistency import crash_cluster
+
+from tests.conftest import MiniCluster
+
+
+def test_crash_counts_mid_service_disk_request(env):
+    cluster = MiniCluster(env, commit_mode="delayed")
+    client = cluster.client
+    client.blockdev.submit_write(0, 64 * 1024, file_id=1)
+
+    # Step until the array has dispatched the request to a spindle.
+    for _ in range(100_000):
+        if cluster.array.in_flight:
+            break
+        env.step()
+    assert cluster.array.in_flight, "request never reached service"
+
+    queued = len(client.blockdev.scheduler)
+    state = crash_cluster(cluster)
+    assert state.lost_block_requests == len(cluster.array.in_flight) + queued
+    assert state.lost_block_requests >= 1
+    # Nothing completed service, so nothing is stable.
+    assert not state.stable.contains(0, 1)
+
+
+def test_in_flight_empties_after_service(env):
+    cluster = MiniCluster(env, commit_mode="delayed")
+    done = cluster.client.blockdev.submit_write(0, 64 * 1024, file_id=1)
+    env.run(until=1.0)
+    assert done.triggered
+    assert cluster.array.in_flight == []
+    assert cluster.array.stable.contains(0, 64 * 1024)

@@ -1,0 +1,62 @@
+"""Client-side fault behaviour: single-node death and degradation."""
+
+from repro.fs import ClusterConfig, RedbudCluster
+from repro.net.rpc import RetryPolicy
+
+
+def build(retry=None, **kw):
+    config = ClusterConfig(
+        num_clients=2,
+        commit_mode="delayed",
+        space_delegation=True,
+        retry=retry,
+        **kw,
+    )
+    return RedbudCluster(config, seed=3)
+
+
+def test_die_silences_the_node():
+    cluster = build(retry=RetryPolicy())
+    client = cluster.clients[0]
+    client.die()
+    assert client.crashed
+    assert client.rpc.stopped
+    assert len(client.blockdev.scheduler) == 0
+    # Idempotent: a node cannot die twice.
+    assert client.die() == 0
+
+
+def test_degradation_hysteresis_on_consecutive_timeouts():
+    cluster = build(retry=RetryPolicy())
+    client = cluster.clients[0]
+    assert client._sync_fallback is not None
+    assert not client.degraded
+
+    # Below the threshold: stays in delayed mode.
+    client.rpc.consecutive_timeouts = client.degrade_after_timeouts - 1
+    assert not client._update_degraded()
+
+    # Threshold reached: falls back to synchronous ordered writes.
+    client.rpc.consecutive_timeouts = client.degrade_after_timeouts
+    assert client._update_degraded()
+    assert client.degraded
+    assert client.degrade_transitions == 1
+
+    # Still degraded while timeouts persist (hysteresis, no flapping).
+    assert client._update_degraded()
+    assert client.degrade_transitions == 1
+
+    # Recovers once replies flow again and the backlog has drained.
+    client.rpc.consecutive_timeouts = 0
+    assert not client._update_degraded()
+    assert not client.degraded
+    assert client.degrade_transitions == 2
+
+
+def test_degradation_disarmed_without_retry_policy():
+    cluster = build(retry=None)
+    client = cluster.clients[0]
+    assert client._sync_fallback is None
+    client.rpc.consecutive_timeouts = 100
+    assert not client._update_degraded()
+    assert not client.degraded

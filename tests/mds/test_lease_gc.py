@@ -117,3 +117,51 @@ def test_integrated_with_mds_single_client_crash():
     assert cluster.mds.gc is not None
     assert any(e.client_id == 0 for e in cluster.mds.gc.events)
     cluster.space.check_invariants()
+
+
+def test_paused_collector_reclaims_nothing():
+    env = Environment()
+    gc, space = make_gc(env)
+    space.alloc(4096, client_id=1)
+    gc.renew(1)
+    gc.pause()
+    env.run(until=3.0)  # well past expiry, but the MDS is "down"
+    assert gc.bytes_reclaimed_total == 0
+    assert space.uncommitted_bytes(1) == 4096
+
+
+def test_resume_grants_a_full_lease_grace():
+    # NFSv4-style grace: clients could not renew while the server was
+    # down, so nobody may be declared dead until a full lease duration
+    # has passed after the restart.
+    env = Environment()
+    gc, space = make_gc(env)
+    space.alloc(4096, client_id=1)
+    gc.renew(1)
+    gc.pause()
+    env.run(until=3.0)
+    gc.resume()
+    env.run(until=3.5)  # within the post-restart grace
+    assert gc.bytes_reclaimed_total == 0
+
+    def heartbeat(env):
+        while env.now < 6.0:
+            yield env.timeout(0.4)
+            gc.renew(1)
+
+    env.process(heartbeat(env))
+    env.run(until=6.0)
+    assert gc.bytes_reclaimed_total == 0  # live client survived restart
+
+
+def test_genuinely_dead_client_expires_again_after_grace():
+    env = Environment()
+    gc, space = make_gc(env)
+    space.alloc(4096, client_id=1)
+    gc.renew(1)
+    gc.pause()
+    env.run(until=3.0)
+    gc.resume()
+    env.run(until=5.0)  # grace over, still silent -> reclaimed
+    assert gc.bytes_reclaimed_total == 4096
+    assert space.uncommitted_bytes(1) == 0

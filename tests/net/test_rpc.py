@@ -11,7 +11,13 @@ from repro.net.messages import (
     CreatePayload,
     RpcMessage,
 )
-from repro.net.rpc import RpcClient, RpcServerPort, RpcTransport
+from repro.net.rpc import (
+    RetryPolicy,
+    RpcClient,
+    RpcServerPort,
+    RpcTimeoutError,
+    RpcTransport,
+)
 from repro.sim import Environment
 from repro.sim.events import Event
 
@@ -139,3 +145,181 @@ def test_multiple_clients_share_inbox(env):
     env.process(caller(env, c2))
     env.run(until=1.0)
     assert sorted(served) == [1, 2]
+
+
+# -- fault tolerance: timeouts, retransmission, reply routing ----------------
+
+
+class ScriptedFaults:
+    """Deterministic stand-in for repro.faults.LinkFaults."""
+
+    def __init__(self, verdicts):
+        self.verdicts = list(verdicts)
+
+    def verdict(self, link):
+        if self.verdicts:
+            return self.verdicts.pop(0)
+        return (False, 0.0)
+
+
+def make_retry_stack(env, retry, client_id=0):
+    up = Link(env, name="up", bandwidth=125e6, propagation=50e-6)
+    down = Link(env, name="down", bandwidth=125e6, propagation=50e-6)
+    port = RpcServerPort(env)
+    transport = RpcTransport(env, up, down, port)
+    client = RpcClient(
+        env, client_id=client_id, transport=transport, retry=retry
+    )
+    return client, port, up, down
+
+
+def test_retry_policy_backoff_and_cap():
+    policy = RetryPolicy(
+        base_timeout=0.01, max_timeout=0.05, multiplier=2.0, jitter=0.0
+    )
+    timeouts = [policy.timeout_for(n, None) for n in range(6)]
+    assert timeouts[:3] == [0.01, 0.02, 0.04]
+    assert all(t == 0.05 for t in timeouts[3:])
+
+
+def test_reply_routes_through_registered_transport(env):
+    # RpcClient registers its transport at construction; the server can
+    # reply without naming a downlink.
+    client, port, _, _ = make_retry_stack(env, retry=None)
+
+    def server(env):
+        msg = yield port.next_request()
+        port.reply(msg, "routed")
+
+    env.process(server(env))
+    results = []
+
+    def caller(env):
+        results.append((yield client.call("create", CreatePayload("f"))))
+
+    env.process(caller(env))
+    env.run(until=1.0)
+    assert results == ["routed"]
+
+
+def test_reply_without_transport_or_downlink_raises(env):
+    port = RpcServerPort(env)
+    msg = RpcMessage(
+        kind="create",
+        payload=CreatePayload("f"),
+        client_id=99,
+        reply_event=Event(env),
+        send_time=0.0,
+    )
+    with pytest.raises(ValueError):
+        port.reply(msg, "nope")
+
+
+def test_retry_recovers_a_lost_request(env):
+    policy = RetryPolicy(base_timeout=0.01, jitter=0.0)
+    client, port, up, _ = make_retry_stack(env, retry=policy)
+    up.faults = ScriptedFaults([(True, 0.0)])  # eat the first request
+
+    def server(env):
+        while True:
+            msg = yield port.next_request()
+            port.reply(msg, "ok")
+
+    env.process(server(env))
+    results = []
+
+    def caller(env):
+        results.append((yield client.call("create", CreatePayload("f"))))
+
+    env.process(caller(env))
+    env.run(until=1.0)
+    assert results == ["ok"]
+    assert client.timeouts == 1
+    assert client.retries == 1
+    assert client.consecutive_timeouts == 0  # reset by the success
+
+
+def test_duplicate_replies_are_harmless(env):
+    # A retransmitted request can be answered twice (once per copy the
+    # server saw); only the first reply may complete the event.
+    policy = RetryPolicy(base_timeout=0.01, jitter=0.0)
+    client, port, _, _ = make_retry_stack(env, retry=policy)
+
+    def double_server(env):
+        while True:
+            msg = yield port.next_request()
+            port.reply(msg, "first")
+            port.reply(msg, "first")
+
+    env.process(double_server(env))
+    results = []
+
+    def caller(env):
+        results.append((yield client.call("create", CreatePayload("f"))))
+
+    env.process(caller(env))
+    env.run(until=1.0)
+    assert results == ["first"]
+    assert port.replies_sent == 2
+
+
+def test_max_attempts_exhaustion_raises(env):
+    policy = RetryPolicy(base_timeout=0.005, jitter=0.0, max_attempts=3)
+    client, port, _, _ = make_retry_stack(env, retry=policy)
+    # No server daemon: requests queue, nobody ever replies.
+    failures = []
+
+    def caller(env):
+        try:
+            yield client.call("create", CreatePayload("f"))
+        except RpcTimeoutError as exc:
+            failures.append(exc)
+
+    env.process(caller(env))
+    env.run(until=1.0)
+    assert len(failures) == 1
+    assert client.timeouts == 3
+
+
+def test_stopped_client_parks_forever(env):
+    policy = RetryPolicy(base_timeout=0.005, jitter=0.0)
+    client, port, _, _ = make_retry_stack(env, retry=policy)
+    client.stop()
+
+    def caller(env):
+        yield client.call("create", CreatePayload("f"))
+        raise AssertionError("a dead client's call must never return")
+
+    proc = env.process(caller(env))
+    env.run(until=1.0)
+    assert proc.is_alive
+    assert port.requests_received == 0  # dead node transmitted nothing
+
+
+def test_server_port_fail_drops_queued_and_arriving(env):
+    client, port, _, _ = make_retry_stack(env, retry=None)
+
+    def caller(env):
+        client.call("create", CreatePayload("a"))
+        client.call("create", CreatePayload("b"))
+        yield env.timeout(0.01)
+
+    env.process(caller(env))
+    env.run()
+    assert port.queue_length == 2
+    lost = port.fail()
+    assert lost == 2
+    assert port.queue_length == 0
+    msg = RpcMessage(
+        kind="create",
+        payload=CreatePayload("c"),
+        client_id=0,
+        reply_event=Event(env),
+        send_time=env.now,
+    )
+    port.deliver(msg)  # arrives while down: dropped on the floor
+    assert port.dropped_while_down == 1
+    assert port.queue_length == 0
+    port.resume()
+    port.deliver(msg)
+    assert port.queue_length == 1
