@@ -22,6 +22,11 @@ Commands
     degrees, daemon utilisation, delegation hit-rate...).
 ``figures``
     List the benchmark modules that regenerate the paper's figures.
+``bench``
+    Fan a figure sweep (figure x seeds x configs) across worker
+    processes with incremental result caching and write the
+    machine-readable ``BENCH_sim.json`` perf report (see
+    ``benchmarks/harness.py``).
 ``crash``
     Crash a busy delayed-commit cluster at a chosen instant, verify the
     ordered-writes invariant, and run recovery.
@@ -36,6 +41,7 @@ Examples
     python -m repro trace --system redbud-delayed --out t.json
     python -m repro stats --system redbud-delayed --workload varmail
     python -m repro crash --at 0.4 --mode unordered
+    python -m repro bench --figure fig3 --seeds 8
 """
 
 from __future__ import annotations
@@ -367,6 +373,30 @@ def cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_harness() -> _t.Any:
+    """Import ``benchmarks.harness``, tolerating source-tree layouts.
+
+    The benchmarks directory sits next to ``src/`` rather than inside
+    the package, so running from an installed ``repro`` needs the repo
+    root pushed onto ``sys.path`` first.
+    """
+    try:
+        from benchmarks import harness
+    except ImportError:
+        import pathlib
+
+        root = pathlib.Path(__file__).resolve().parents[2]
+        if not (root / "benchmarks" / "harness.py").is_file():
+            raise
+        sys.path.insert(0, str(root))
+        from benchmarks import harness
+    return harness
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    return _load_harness().run_from_args(args)
+
+
 def cmd_figures(_args: argparse.Namespace) -> int:
     table = Table(["figure", "bench"], title="Paper figures -> benches")
     for fig, bench in FIGURES.items():
@@ -519,6 +549,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_fig = sub.add_parser("figures", help="list figure benches")
     p_fig.set_defaults(func=cmd_figures)
+
+    try:
+        harness = _load_harness()
+    except ImportError:  # installed without the benchmarks tree
+        harness = None
+    if harness is not None:
+        p_bench = sub.add_parser(
+            "bench",
+            help="parallel, cached benchmark sweeps -> BENCH_sim.json",
+        )
+        harness.add_bench_arguments(p_bench)
+        p_bench.set_defaults(func=cmd_bench)
 
     p_crash = sub.add_parser("crash", help="crash + verify + recover")
     common(p_crash)

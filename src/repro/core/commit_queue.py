@@ -18,6 +18,7 @@ The queue also provides:
 from __future__ import annotations
 
 import typing as _t
+from collections import deque
 
 from repro.core.records import CommitRecord
 from repro.mds.extent import Extent
@@ -48,7 +49,16 @@ class CommitQueue:
         self._records: _t.List[CommitRecord] = []
         self._by_file: _t.Dict[int, CommitRecord] = {}
         self._waiting_gets: _t.List[Event] = []
-        self._waiting_room: _t.List[Event] = []
+        self._waiting_room: _t.Deque[Event] = deque()
+        #: Data events that already carry this queue's stability
+        #: callback.  Dedup merges of long-lived files may present the
+        #: same write-completion event many times; registering once per
+        #: event keeps callback lists flat and avoids wakeups firing for
+        #: records that were already checked out.
+        self._stability_watch: _t.Set[Event] = set()
+        #: Total :meth:`_wake_getters` invocations (regression gauge for
+        #: the one-callback-per-event guarantee).
+        self.wakeups = 0
         #: Called with the new length after every insert/checkout.
         self.on_length_change: _t.Optional[_t.Callable[[int], None]] = None
         self.inserts = 0
@@ -129,23 +139,45 @@ class CommitQueue:
     def _notify_stability(
         self, record: CommitRecord, data_events: _t.List[Event]
     ) -> None:
-        """Wake sleeping daemons once a record's data becomes stable."""
+        """Wake sleeping daemons once a record's data becomes stable.
+
+        Each pending data event gets the queue's wake callback exactly
+        once, however many dedup merges present it again: repeat
+        registrations used to accumulate duplicate callbacks on
+        long-lived events, each firing a (wasted) wakeup pass after the
+        record they were registered for had already been checked out.
+        """
+        watch = self._stability_watch
         for ev in data_events:
-            if ev.callbacks is not None:
-                ev.callbacks.append(lambda _ev: self._wake_getters())
+            if ev.callbacks is not None and ev not in watch:
+                watch.add(ev)
+                ev.callbacks.append(self._on_data_stable)
         if record.data_stable:
             self._wake_getters()
+
+    def _on_data_stable(self, ev: Event) -> None:
+        self._stability_watch.discard(ev)
+        self._wake_getters()
 
     # -- checkout (daemon side) -----------------------------------------------
 
     def checkout_stable(self, limit: int = 1) -> _t.List[CommitRecord]:
-        """Remove and return up to ``limit`` data-stable records (FIFO)."""
+        """Remove and return up to ``limit`` data-stable records (FIFO).
+
+        The scan stops as soon as the batch is full: stable records
+        cluster at the head (oldest writes complete first), so a full
+        queue no longer pays an O(n) rebuild per checkout -- only the
+        scanned prefix is spliced and the unscanned tail is reused.
+        """
         if limit <= 0:
             raise ValueError(f"limit must be positive, got {limit}")
+        records = self._records
         batch: _t.List[CommitRecord] = []
-        remaining: _t.List[CommitRecord] = []
-        for record in self._records:
-            if len(batch) < limit and record.data_stable:
+        keep: _t.List[CommitRecord] = []
+        scanned = 0
+        for record in records:
+            scanned += 1
+            if record.data_stable:
                 record.checked_out = True
                 del self._by_file[record.file_id]
                 batch.append(record)
@@ -155,10 +187,13 @@ class CommitQueue:
                         extents=len(record.extents),
                         merged_updates=len(record.trace_ids),
                     )
+                if len(batch) == limit:
+                    break
             else:
-                remaining.append(record)
+                keep.append(record)
         if batch:
-            self._records = remaining
+            keep.extend(records[scanned:])
+            self._records = keep
             self.checkouts += len(batch)
             self._changed()
             self._wake_room_waiters()
@@ -174,6 +209,7 @@ class CommitQueue:
         return ev
 
     def _wake_getters(self) -> None:
+        self.wakeups += 1
         if not self._waiting_gets:
             return
         if any(r.data_stable for r in self._records):
@@ -198,7 +234,7 @@ class CommitQueue:
 
     def _wake_room_waiters(self) -> None:
         while self._waiting_room and self.has_room():
-            ev = self._waiting_room.pop(0)
+            ev = self._waiting_room.popleft()
             if not ev.triggered:
                 ev.succeed()
 
@@ -211,10 +247,17 @@ class CommitQueue:
         return tuple(self._records)
 
     def drop_all(self) -> _t.List[CommitRecord]:
-        """Crash: volatile queue contents are lost; returns what was lost."""
+        """Crash: volatile queue contents are lost; returns what was lost.
+
+        Dropping the records opens room, so writers parked in
+        :meth:`wait_for_room` must be released here -- without the wake
+        they would stall forever (nothing else re-checks room until the
+        next checkout, which can never happen on an empty queue).
+        """
         lost, self._records = self._records, []
         self._by_file.clear()
         self._changed()
+        self._wake_room_waiters()
         return lost
 
     def _changed(self) -> None:

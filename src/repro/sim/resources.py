@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import heapq
 import typing as _t
+from collections import deque
 from dataclasses import dataclass, field
 
 from repro.sim.events import Event
@@ -170,9 +171,12 @@ class Store:
             raise ValueError(f"capacity must be positive, got {capacity}")
         self.env = env
         self.capacity = capacity
-        self.items: _t.List[_t.Any] = []
-        self._puts: _t.List[StorePut] = []
-        self._gets: _t.List[StoreGet] = []
+        #: Buffered items.  A deque for the FIFO stores (popleft is O(1);
+        #: under fan-in the old ``list.pop(0)`` made every dispatch pass
+        #: O(n)); :class:`PriorityStore` swaps in a list for ``heapq``.
+        self.items: _t.MutableSequence[_t.Any] = deque()
+        self._puts: _t.Deque[StorePut] = deque()
+        self._gets: _t.Deque[StoreGet] = deque()
 
     def __len__(self) -> int:
         return len(self.items)
@@ -191,7 +195,7 @@ class Store:
         complete set of items lost with the store's owner.
         """
         while self._puts:
-            put = self._puts.pop(0)
+            put = self._puts.popleft()
             self._store_item(put.item)
             put.succeed()
         items = list(self.items)
@@ -219,30 +223,53 @@ class Store:
     def _take_item(self, get_event: StoreGet) -> _t.Optional[_t.Any]:
         """Return an item for ``get_event`` or None if none available."""
         if self.items:
-            return self.items.pop(0)
+            return self.items.popleft()
         return None
 
     def _dispatch(self) -> None:
-        """Match queued puts and gets until no more progress is possible."""
-        progressed = True
-        while progressed:
-            progressed = False
-            # Admit puts while there is room.
-            while self._puts and len(self.items) < self.capacity:
-                put = self._puts.pop(0)
+        """Match queued puts and gets until no more progress is possible.
+
+        Alternates an admit-puts pass with a serve-gets pass, exactly as
+        many times as the old rebuild-``remaining`` loop did useful work:
+        a further round can only make progress if the gets pass freed
+        buffer room *and* a put is still waiting to use it, so the loop
+        exits as soon as that cannot hold.  Within a pass, puts are
+        admitted and gets served in FIFO order -- the succeed() sequence
+        (and therefore the event calendar) is bit-for-bit identical to
+        the previous implementation, which the determinism tests gate.
+        """
+        puts = self._puts
+        items = self.items
+        capacity = self.capacity
+        while True:
+            while puts and len(items) < capacity:
+                put = puts.popleft()
                 self._store_item(put.item)
                 put.succeed()
-                progressed = True
-            # Serve gets that can be satisfied.
-            remaining: _t.List[StoreGet] = []
-            for get in self._gets:
-                item = self._take_item(get)
-                if item is not None or self._satisfied_with_none(get):
-                    get.succeed(item)
-                    progressed = True
-                else:
-                    remaining.append(get)
-            self._gets = remaining
+            if not self._serve_gets():
+                return
+            if not puts or len(items) >= capacity:
+                return
+
+    def _serve_gets(self) -> bool:
+        """Serve waiting gets in FIFO order; True if any was served.
+
+        For the FIFO stores an unsatisfiable get at the head means every
+        get behind it is unsatisfiable too (``_take_item`` ignores the
+        get), so the pass stops at the first failure instead of probing
+        each of the ``m`` waiters -- the old quadratic fan-in cost.
+        """
+        gets = self._gets
+        served = False
+        while gets:
+            get = gets[0]
+            item = self._take_item(get)
+            if item is None and not self._satisfied_with_none(get):
+                break
+            gets.popleft()
+            get.succeed(item)
+            served = True
+        return served
 
     @staticmethod
     def _satisfied_with_none(_get: StoreGet) -> bool:
@@ -264,6 +291,13 @@ class PriorityItem:
 
 class PriorityStore(Store):
     """A store whose gets return the smallest item first (heap order)."""
+
+    def __init__(
+        self, env: "Environment", capacity: float = float("inf")
+    ) -> None:
+        super().__init__(env, capacity)
+        # ``heapq`` requires a list, not the FIFO deque of the base class.
+        self.items = []
 
     def _store_item(self, item: _t.Any) -> None:
         heapq.heappush(self.items, item)
@@ -302,11 +336,37 @@ class FilterStore(Store):
         return FilterStoreGet(self, predicate)
 
     def _take_item(self, get_event: StoreGet) -> _t.Optional[_t.Any]:
-        predicate = getattr(get_event, "predicate", lambda item: True)
+        predicate = getattr(get_event, "predicate", None)
+        if predicate is None:
+            return self.items.popleft() if self.items else None
         for i, item in enumerate(self.items):
             if predicate(item):
-                return self.items.pop(i)
+                del self.items[i]
+                return item
         return None
+
+    def _serve_gets(self) -> bool:
+        """One FIFO pass over every waiting get (predicates differ).
+
+        Unlike the FIFO stores, an unsatisfiable get here does not imply
+        the ones behind it fail too, so each waiter is probed once per
+        pass.  Rotating through the deque keeps the survivors in their
+        original order without rebuilding a ``remaining`` list; a get's
+        predicate is re-evaluated only when :meth:`Store._dispatch`
+        admitted new items or :meth:`notify` signalled an external state
+        change -- never spuriously within a pass.
+        """
+        gets = self._gets
+        served = False
+        for _ in range(len(gets)):
+            get = gets.popleft()
+            item = self._take_item(get)
+            if item is not None or self._satisfied_with_none(get):
+                get.succeed(item)
+                served = True
+            else:
+                gets.append(get)
+        return served
 
     def notify(self) -> None:
         """Re-evaluate waiting gets after external item-state changes.
@@ -362,8 +422,8 @@ class Container:
         self.env = env
         self.capacity = capacity
         self._level = init
-        self._puts: _t.List[ContainerPut] = []
-        self._gets: _t.List[ContainerGet] = []
+        self._puts: _t.Deque[ContainerPut] = deque()
+        self._gets: _t.Deque[ContainerGet] = deque()
 
     @property
     def level(self) -> float:
@@ -382,14 +442,14 @@ class Container:
             if self._puts:
                 put = self._puts[0]
                 if self._level + put.amount <= self.capacity:
-                    self._puts.pop(0)
+                    self._puts.popleft()
                     self._level += put.amount
                     put.succeed()
                     progressed = True
             if self._gets:
                 get = self._gets[0]
                 if get.amount <= self._level:
-                    self._gets.pop(0)
+                    self._gets.popleft()
                     self._level -= get.amount
                     get.succeed()
                     progressed = True

@@ -28,7 +28,12 @@ from dataclasses import dataclass
 
 from repro.sim.rng import StreamRNG
 from repro.storage.blktrace import BlkTrace
-from repro.storage.scheduler import WRITE, BlockRequest, ElevatorScheduler
+from repro.storage.scheduler import (
+    READ,
+    WRITE,
+    BlockRequest,
+    ElevatorScheduler,
+)
 from repro.util.intervals import IntervalSet
 
 if _t.TYPE_CHECKING:  # pragma: no cover
@@ -151,6 +156,11 @@ class DiskArray:
             raise ValueError(f"need at least one spindle: {params}")
         self.env = env
         self.params = params
+        #: The striping function bound once: ``params.spindle_of``
+        #: manufactures a fresh bound method per attribute access, which
+        #: defeats both the per-call cost and the schedulers' identity
+        #: check on their installed spindle map.
+        self._spindle_of = params.spindle_of
         self.rng = rng
         self.trace = trace
         #: Observability bundle (``repro.obs.Instrumentation``) or None.
@@ -192,6 +202,7 @@ class DiskArray:
     def attach(self, scheduler: ElevatorScheduler) -> None:
         """Register a client's elevator queue with the array."""
         scheduler.on_submit = self._notify
+        scheduler.set_spindle_map(self._spindle_of)
         self._schedulers.append(scheduler)
 
     def _notify(self) -> None:
@@ -205,16 +216,20 @@ class DiskArray:
         self, spindle: int, op: _t.Optional[str]
     ) -> _t.Optional[BlockRequest]:
         """One round-robin pass over client queues for ``op`` requests."""
-        n = len(self._schedulers)
-        params = self.params
+        schedulers = self._schedulers
+        n = len(schedulers)
+        spindle_of = self._spindle_of
+        head = self._heads[spindle]
+        write_plug = self.params.write_plug
+        base = self._rr_index[spindle]
         for offset in range(n):
-            idx = (self._rr_index[spindle] + offset) % n
-            request = self._schedulers[idx].pop_next_for_spindle(
-                self._heads[spindle],
+            idx = (base + offset) % n
+            request = schedulers[idx].pop_next_for_spindle(
+                head,
                 spindle,
-                params.spindle_of,
+                spindle_of,
                 op=op,
-                write_plug=params.write_plug,
+                write_plug=write_plug,
             )
             if request is not None:
                 self._rr_index[spindle] = (idx + 1) % n
@@ -231,8 +246,6 @@ class DiskArray:
         ``write_starvation_limit`` consecutive reads, when one write
         round is forced.
         """
-        from repro.storage.scheduler import READ, WRITE
-
         if self._read_streak[spindle] >= self.write_starvation_limit:
             request = self._pop_rr(spindle, WRITE)
             if request is not None:
@@ -249,9 +262,11 @@ class DiskArray:
 
     def _earliest_plug_expiry(self, spindle: int) -> _t.Optional[float]:
         earliest: _t.Optional[float] = None
+        spindle_of = self._spindle_of
+        write_plug = self.params.write_plug
         for sched in self._schedulers:
             ready = sched.earliest_plug_expiry(
-                spindle, self.params.spindle_of, self.params.write_plug
+                spindle, spindle_of, write_plug
             )
             if ready is not None and (earliest is None or ready < earliest):
                 earliest = ready

@@ -187,3 +187,45 @@ def test_validation(env):
     q = CommitQueue(env)
     with pytest.raises(ValueError):
         q.checkout_stable(limit=0)
+
+
+def test_dedup_merge_registers_stability_callback_once(env):
+    """Regression: repeat merges used to stack duplicate wake callbacks.
+
+    A long-lived file whose writes dedup into one resident record
+    presents the same data event on every merge; each presentation
+    appended another wake callback, so one write completion fired a
+    wakeup per *merge* instead of per *event*.
+    """
+    q = CommitQueue(env)
+    ev = Event(env)
+    q.insert(1, [ext(0)], [ev])
+    assert ev.callbacks.count(q._on_data_stable) == 1
+
+    for k in range(1, 6):
+        q.insert(1, [ext(4096 * k, vo=4096 * k)], [ev])
+    assert q.dedup_hits == 5
+    assert ev.callbacks.count(q._on_data_stable) == 1
+
+    before = q.wakeups
+    ev.succeed()
+    env.run()
+    assert q.wakeups == before + 1
+    assert ev not in q._stability_watch
+
+
+def test_shared_data_event_across_records_wakes_once(env):
+    """One event backing several records still yields a single wakeup."""
+    q = CommitQueue(env)
+    ev = Event(env)
+    q.insert(1, [ext(0)], [ev])
+    q.insert(2, [ext(0)], [ev])
+    assert ev.callbacks.count(q._on_data_stable) == 1
+
+    waiter = q.wait_for_stable()
+    before = q.wakeups
+    ev.succeed()
+    env.run()
+    assert q.wakeups == before + 1
+    assert waiter.triggered
+    assert len(q.checkout_stable(limit=2)) == 2
