@@ -1,0 +1,441 @@
+"""Systematic crash-schedule exploration ("Jepsen in virtual time").
+
+Because the whole cluster runs inside a deterministic discrete-event
+simulation, the checker can do what a real-hardware Jepsen cannot:
+*enumerate* crash schedules.  The explorer runs three schedule families
+against the same seeded workload:
+
+1. **Probe** -- one fault-free run whose causal trace yields the
+   timestamps at which each protocol transition point actually fired.
+2. **Crash points** -- for every sampled transition timestamp ``t``, a
+   schedule that cuts power at ``t + eps``: the state "just after" the
+   protocol advanced, exactly the window an ordering bug exposes.
+3. **Nemesis** -- seeded random fault combinations (loss, delay,
+   partitions, MDS restarts, client deaths, optional crash cut) layered
+   on the :mod:`repro.faults` injector.
+
+Every schedule is judged by the oracle (:mod:`repro.check.oracle`); a
+failing schedule is shrunk with ddmin (:mod:`repro.check.shrinker`) to a
+minimal clause list that is directly replayable via ``repro run
+--faults '<spec>'``.  Everything -- schedule generation, the runs, the
+report -- is a pure function of ``(seed, budget, scope)``: two
+invocations produce byte-identical reports.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+from dataclasses import dataclass, field
+
+from repro.check.oracle import Verdict, judge_crash, judge_live
+from repro.check.schedule import compose, describe, schedule_events
+from repro.check.shrinker import ddmin
+from repro.check.transitions import TransitionCoverage, transition_times
+from repro.check.workload import CheckWorkload
+from repro.consistency.crash import crash_cluster
+from repro.faults.injector import FaultInjector
+from repro.faults.spec import FaultSpec
+from repro.fs.config import ClusterConfig
+from repro.fs.redbud import RedbudCluster
+from repro.mds.server import MdsParameters
+from repro.net.rpc import RetryPolicy
+from repro.obs import Instrumentation
+from repro.sim.rng import StreamRNG
+from repro.workloads.spec import WorkloadContext
+
+__all__ = ["RunOutcome", "Counterexample", "CheckReport", "run_schedule",
+           "explore"]
+
+#: Crash "just after" a transition: the event at ``t`` has executed,
+#: nothing later has.
+EPS = 1e-7
+#: Short lease so reclamation (and fencing) is reachable within a run.
+LEASE_DURATION = 0.12
+GC_SCAN_INTERVAL = 0.03
+#: Virtual seconds of steady-state load after workload setup.
+RUN_SPAN = 0.35
+#: Post-schedule drain (covers one full retry backoff at max_timeout).
+SETTLE_GRACE = 1.5
+
+
+@dataclass
+class RunOutcome:
+    """One schedule, executed and judged."""
+
+    spec: FaultSpec
+    verdict: Verdict
+    crashed: bool
+    obs: Instrumentation
+    cluster: RedbudCluster
+
+
+@dataclass
+class Counterexample:
+    """A failing schedule reduced to its essential clauses."""
+
+    schedule: str
+    minimal: str
+    kinds: _t.List[str]
+    shrink_probes: int
+    seed: int = 0
+    clients: int = 3
+    trace: _t.List[str] = field(default_factory=list)
+
+    def as_dict(self) -> _t.Dict[str, _t.Any]:
+        return {
+            "schedule": self.schedule,
+            "minimal": self.minimal,
+            "minimal_clauses": len(
+                [c for c in self.minimal.split(",") if c]
+            ),
+            "kinds": list(self.kinds),
+            "shrink_probes": self.shrink_probes,
+            "replay": (
+                f"python -m repro run --faults '{self.minimal}' --check "
+                f"--seed {self.seed} --clients {self.clients}"
+            ),
+            "trace": list(self.trace),
+        }
+
+
+@dataclass
+class CheckReport:
+    """The whole exploration, JSON-ready and wall-clock free."""
+
+    seed: int
+    budget: int
+    mode: str
+    clients: int
+    schedules: _t.List[_t.Dict[str, _t.Any]] = field(default_factory=list)
+    counterexamples: _t.List[Counterexample] = field(default_factory=list)
+    coverage: _t.Dict[str, _t.Any] = field(default_factory=dict)
+    shrink_probes: int = 0
+
+    @property
+    def failures(self) -> int:
+        return sum(1 for s in self.schedules if not s["ok"])
+
+    @property
+    def ok(self) -> bool:
+        return self.failures == 0
+
+    def as_dict(self) -> _t.Dict[str, _t.Any]:
+        return {
+            "seed": self.seed,
+            "budget": self.budget,
+            "mode": self.mode,
+            "clients": self.clients,
+            "schedules_run": len(self.schedules),
+            "failures": self.failures,
+            "ok": self.ok,
+            "coverage": self.coverage,
+            "schedules": self.schedules,
+            "counterexamples": [
+                c.as_dict() for c in self.counterexamples
+            ],
+            "shrink_probes": self.shrink_probes,
+        }
+
+    def summary(self) -> str:
+        cov = self.coverage.get("fraction", 0.0)
+        return (
+            f"check: {len(self.schedules)} schedules, "
+            f"{self.failures} failing, coverage {cov:.0%}, "
+            f"{len(self.counterexamples)} counterexample(s)"
+        )
+
+
+def run_schedule(
+    spec: FaultSpec,
+    *,
+    seed: int,
+    clients: int = 3,
+    mode: str = "delayed",
+    run_span: float = RUN_SPAN,
+    tweak: _t.Optional[_t.Callable[[RedbudCluster], None]] = None,
+) -> RunOutcome:
+    """Execute one schedule against the check workload and judge it.
+
+    ``tweak`` mutates the freshly built cluster before anything runs --
+    the hook the self-test uses to seed a deliberate bug (e.g. disabling
+    the MDS commit dedup table) and prove the checker finds it.
+    """
+    config = ClusterConfig(
+        num_clients=clients,
+        commit_mode=mode,
+        space_delegation=(mode != "synchronous"),
+        mds=MdsParameters(
+            lease_duration=LEASE_DURATION,
+            gc_scan_interval=GC_SCAN_INTERVAL,
+        ),
+        retry=None if spec.empty else RetryPolicy(),
+    )
+    obs = Instrumentation()
+    cluster = RedbudCluster(config, seed=seed, obs=obs)
+    if tweak is not None:
+        tweak(cluster)
+    injector = FaultInjector(cluster, spec) if not spec.empty else None
+
+    env = cluster.env
+    workload = CheckWorkload()
+    shared: _t.Dict[str, _t.Any] = {}
+    from repro.analysis.metrics import OpMetrics
+
+    contexts = [
+        WorkloadContext(
+            env=env,
+            fs=cluster.clients[i],
+            rng=cluster.root_rng.stream("wl", i),
+            client_index=i,
+            num_clients=clients,
+            metrics=OpMetrics(),
+            shared=shared,
+        )
+        for i in range(clients)
+    ]
+    setups = [env.process(workload.setup(ctx)) for ctx in contexts]
+
+    halt = {"stop": False}
+
+    def forever(ctx: WorkloadContext, tid: int) -> _t.Generator:
+        while not halt["stop"]:
+            yield from workload.op(ctx, tid)
+            yield from workload.think(ctx)
+
+    def driver() -> _t.Generator:
+        yield env.all_of(setups)
+        cluster.setup_complete = True
+        for ctx in contexts:
+            ctx.in_setup = False
+            for tid in range(workload.threads_per_client):
+                env.process(forever(ctx, tid), name=f"check-op-{tid}")
+
+    env.process(driver(), name="check-driver")
+
+    if spec.crash_at is not None:
+        state = crash_cluster(
+            cluster, at_time=max(spec.crash_at, env.now)
+        )
+        return RunOutcome(
+            spec=spec,
+            verdict=judge_crash(cluster, state),
+            crashed=True,
+            obs=obs,
+            cluster=cluster,
+        )
+
+    env.run(until=env.all_of(setups))
+    env.run(until=env.now + run_span)
+    halt["stop"] = True
+    if injector is not None:
+        injector.stop()
+    cluster.settle(grace=SETTLE_GRACE)
+    return RunOutcome(
+        spec=spec,
+        verdict=judge_live(cluster),
+        crashed=False,
+        obs=obs,
+        cluster=cluster,
+    )
+
+
+def _nemesis_spec(rng: StreamRNG, clients: int) -> FaultSpec:
+    """Draw one random fault combination as canonical clause atoms."""
+    clauses: _t.List[str] = []
+    family = rng.integers(0, 8)
+    t0 = round(rng.uniform(0.05, 0.30), 4)
+    if family == 0:
+        clauses.append(f"loss={round(rng.uniform(0.02, 0.25), 3)!r}")
+    elif family == 1:
+        clauses.append(
+            f"delay={round(rng.uniform(0.05, 0.3), 3)!r}"
+            f":{round(rng.uniform(0.001, 0.02), 4)!r}"
+        )
+    elif family == 2:
+        cid = rng.integers(0, clients)
+        t1 = round(t0 + rng.uniform(0.05, 0.20), 4)
+        clauses.append(f"partition={cid}@{t0!r}-{t1!r}")
+    elif family == 3:
+        down = round(rng.uniform(0.05, 0.20), 4)
+        clauses.append(f"mds_restart@{t0!r}:{down!r}")
+    elif family == 4:
+        cid = rng.integers(0, clients)
+        clauses.append(f"client_death={cid}@{t0!r}")
+    elif family == 5:
+        # Reply loss around an MDS restart: the retransmit-after-
+        # restart pattern that stresses exactly-once commit handling.
+        clauses.append(f"loss={round(rng.uniform(0.05, 0.3), 3)!r}")
+        down = round(rng.uniform(0.05, 0.20), 4)
+        clauses.append(f"mds_restart@{t0!r}:{down!r}")
+    elif family == 6:
+        cid = rng.integers(0, clients)
+        t1 = round(t0 + rng.uniform(0.13, 0.25), 4)
+        clauses.append(f"partition={cid}@{t0!r}-{t1!r}")
+        down = round(rng.uniform(0.05, 0.15), 4)
+        clauses.append(f"mds_restart@{round(t0 + 0.05, 4)!r}:{down!r}")
+    else:
+        clauses.append(f"loss={round(rng.uniform(0.02, 0.15), 3)!r}")
+        cid = rng.integers(0, clients)
+        clauses.append(f"client_death={cid}@{t0!r}")
+    if rng.random() < 0.35:
+        clauses.append(f"crash@{round(rng.uniform(0.10, 0.50), 4)!r}")
+    return compose(clauses)
+
+
+def _trace_excerpt(
+    outcome: RunOutcome, limit: int = 40
+) -> _t.List[str]:
+    """Causal context for a counterexample: faults + commit lifecycle."""
+    tracer = outcome.obs.tracer
+    interesting = {
+        "commit_apply", "journal_write", "lease_reclaim", "array_fence",
+        "write_fenced", "partition_start", "partition_end",
+        "message_drop", "message_delay", "partition_drop",
+    }
+    lines: _t.List[_t.Tuple[float, str]] = []
+    for event in tracer.events:
+        if event.cat == "fault" or event.name in interesting:
+            detail = " ".join(
+                f"{k}={v}" for k, v in sorted(event.args.items())
+            )
+            lines.append(
+                (
+                    event.time,
+                    f"t={event.time:.6f} {event.name} "
+                    f"[{event.node}] {detail}".rstrip(),
+                )
+            )
+    for span in tracer.spans_named("rpc:commit"):
+        lines.append(
+            (
+                span.start,
+                f"t={span.start:.6f} rpc:commit sent "
+                f"updates={list(span.update_ids)}",
+            )
+        )
+    lines.sort(key=lambda pair: pair[0])
+    if len(lines) > limit:
+        # Keep the tail: the violation is at the end of the causal story.
+        lines = lines[-limit:]
+    return [text for _, text in lines]
+
+
+def explore(
+    budget: int = 200,
+    seed: int = 0,
+    *,
+    clients: int = 3,
+    mode: str = "delayed",
+    tweak: _t.Optional[_t.Callable[[RedbudCluster], None]] = None,
+    max_counterexamples: int = 3,
+    shrink_probe_budget: int = 24,
+    samples_per_point: int = 3,
+    log: _t.Optional[_t.Callable[[str], None]] = None,
+) -> CheckReport:
+    """Run up to ``budget`` schedules and report coverage + verdicts.
+
+    The budget counts judged schedules (probe + crash points +
+    nemesis); shrinking uses a separate bounded probe budget per
+    counterexample so a pathological failure cannot eat the whole run.
+    """
+    if budget < 1:
+        raise ValueError("budget must be >= 1")
+    report = CheckReport(
+        seed=seed, budget=budget, mode=mode, clients=clients
+    )
+    coverage = TransitionCoverage()
+    say = log if log is not None else (lambda _msg: None)
+
+    def record(
+        kind: str, spec: FaultSpec, outcome: RunOutcome
+    ) -> None:
+        coverage.observe(outcome.obs)
+        report.schedules.append(
+            {
+                "kind": kind,
+                "spec": spec.serialize(),
+                "describe": describe(spec),
+                "ok": outcome.verdict.ok,
+                "crashed": outcome.crashed,
+                "violation_kinds": outcome.verdict.kinds(),
+            }
+        )
+
+    def runner(spec: FaultSpec) -> RunOutcome:
+        return run_schedule(
+            spec, seed=seed, clients=clients, mode=mode, tweak=tweak
+        )
+
+    # 1. Probe: fault-free baseline + transition timestamps.
+    probe = runner(FaultSpec())
+    record("probe", probe.spec, probe)
+    candidates = transition_times(
+        probe.obs, samples_per_point=samples_per_point
+    )
+    say(
+        f"probe: {len(candidates)} crash candidates across "
+        f"{len(coverage.covered)} live transition points"
+    )
+
+    # 2. Crash-point schedules.
+    failures: _t.List[RunOutcome] = []
+    remaining = budget - 1
+    crash_specs = [
+        (name, FaultSpec(crash_at=t + EPS))
+        for name, t in candidates[: max(0, remaining)]
+    ]
+    for name, spec in crash_specs:
+        outcome = runner(spec)
+        record(f"crash-point:{name}", spec, outcome)
+        if not outcome.verdict.ok:
+            failures.append(outcome)
+        remaining -= 1
+
+    # 3. Nemesis schedules fill the rest of the budget.
+    nemesis_root = StreamRNG(seed).stream("check", "nemesis")
+    for i in range(max(0, remaining)):
+        spec = _nemesis_spec(nemesis_root.stream(i), clients)
+        outcome = runner(spec)
+        record("nemesis", spec, outcome)
+        if not outcome.verdict.ok:
+            failures.append(outcome)
+
+    say(
+        f"explored {len(report.schedules)} schedules: "
+        f"{report.failures} failing"
+    )
+
+    # 4. Shrink the first few failures to minimal counterexamples.
+    for outcome in failures[:max_counterexamples]:
+        clauses = schedule_events(outcome.spec)
+
+        def fails(subset: _t.List[str]) -> bool:
+            return not runner(compose(subset)).verdict.ok
+
+        if len(clauses) <= 1:
+            minimal, probes = clauses, 0
+        else:
+            minimal, probes = ddmin(
+                clauses, fails, max_probes=shrink_probe_budget
+            )
+        report.shrink_probes += probes
+        minimal_spec = compose(minimal)
+        replay = runner(minimal_spec)
+        report.counterexamples.append(
+            Counterexample(
+                schedule=outcome.spec.serialize(),
+                minimal=minimal_spec.serialize(),
+                kinds=replay.verdict.kinds() or outcome.verdict.kinds(),
+                shrink_probes=probes,
+                seed=seed,
+                clients=clients,
+                trace=_trace_excerpt(replay),
+            )
+        )
+        say(
+            f"shrunk {len(clauses)} -> {len(minimal)} clause(s) "
+            f"in {probes} probes: {minimal_spec.serialize()!r}"
+        )
+
+    report.coverage = coverage.report()
+    return report

@@ -1,0 +1,143 @@
+"""The checker's oracle: every invariant the system promises, in one verdict.
+
+After a schedule runs (to a crash cut, or to a quiescent end), the
+oracle judges the surviving state against the full invariant suite:
+
+1. **Ordered writes + orphan GC** (crash path): recovery's pre/post
+   checks -- no dangling metadata, no extent overlap, space accounting
+   balances after orphan reclamation (:mod:`repro.consistency.recovery`).
+2. **fsck**: allocator books cross-checked against the committed
+   namespace (:mod:`repro.consistency.fsck`).
+3. **Exactly-once commits**: the MDS's audit of applied ``(client,
+   op)`` pairs never exceeds one -- a retransmitted commit that slips
+   past the dedup table is a double apply even when the namespace
+   happens to mask it.
+4. **History**: the durable oplog replayed into a shadow namespace must
+   reproduce the live namespace exactly
+   (:func:`repro.consistency.history.check_history`).
+5. **Trace ordering**: for every committed update, its writepages
+   finished before the commit RPC left the client
+   (:func:`repro.consistency.history.check_commit_ordering`).
+"""
+
+from __future__ import annotations
+
+import typing as _t
+from dataclasses import dataclass, field
+
+from repro.consistency.crash import CrashState
+from repro.consistency.fsck import fsck
+from repro.consistency.history import check_commit_ordering, check_history
+from repro.consistency.invariant import check_ordered_writes
+from repro.consistency.recovery import recover
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.fs.redbud import RedbudCluster
+
+__all__ = ["Verdict", "judge_crash", "judge_live"]
+
+
+@dataclass
+class Verdict:
+    """One schedule's outcome across all invariant checks."""
+
+    #: ``(kind, detail)`` pairs; empty means the schedule passed.
+    violations: _t.List[_t.Tuple[str, str]] = field(default_factory=list)
+    summaries: _t.List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def add(self, kind: str, detail: str) -> None:
+        self.violations.append((kind, detail))
+
+    def kinds(self) -> _t.List[str]:
+        return sorted({kind for kind, _ in self.violations})
+
+    def as_dict(self) -> _t.Dict[str, _t.Any]:
+        return {
+            "ok": self.ok,
+            "violations": [
+                {"kind": kind, "detail": detail}
+                for kind, detail in self.violations
+            ],
+            "summaries": list(self.summaries),
+        }
+
+
+def _common_checks(cluster: "RedbudCluster", verdict: Verdict) -> None:
+    """Checks shared by the crash and live paths."""
+    mds = cluster.mds
+    worst = max(mds.commit_apply_counts.values(), default=0)
+    if worst > 1:
+        doubled = sorted(
+            key
+            for key, count in mds.commit_apply_counts.items()
+            if count > 1
+        )
+        for client_id, op_id in doubled:
+            verdict.add(
+                "double-apply",
+                f"commit (client={client_id}, op={op_id}) applied "
+                f"{mds.commit_apply_counts[(client_id, op_id)]} times",
+            )
+    verdict.summaries.append(
+        f"exactly-once: max applies per commit = {worst}"
+    )
+
+    history = check_history(mds.oplog, cluster.namespace)
+    for detail in history.violations:
+        verdict.add("history-divergence", detail)
+    verdict.summaries.append(history.summary())
+
+    if cluster.obs is not None:
+        for detail in check_commit_ordering(cluster.obs.tracer):
+            verdict.add("commit-before-stable", detail)
+
+
+def judge_crash(
+    cluster: "RedbudCluster", state: CrashState
+) -> Verdict:
+    """Judge a crashed cluster: recovery, fsck, then the common suite."""
+    verdict = Verdict()
+    report = recover(state)
+    for violation in report.pre_check.violations:
+        verdict.add(violation.kind, violation.detail)
+    for violation in report.post_check.violations:
+        if violation not in report.pre_check.violations:
+            verdict.add(violation.kind, violation.detail)
+    verdict.summaries.append("pre-GC " + report.pre_check.summary())
+    verdict.summaries.append(
+        f"recovery reclaimed {report.orphan_bytes_reclaimed} orphan bytes"
+    )
+
+    fsck_report = fsck(state.namespace, state.space)
+    if not fsck_report.clean:
+        verdict.add("fsck", fsck_report.summary())
+    verdict.summaries.append(fsck_report.summary())
+
+    _common_checks(cluster, verdict)
+    return verdict
+
+
+def judge_live(cluster: "RedbudCluster") -> Verdict:
+    """Judge a quiescent (settled, un-crashed) cluster."""
+    verdict = Verdict()
+    report = check_ordered_writes(
+        cluster.namespace, cluster.array.stable, cluster.space
+    )
+    for violation in report.violations:
+        verdict.add(violation.kind, violation.detail)
+    verdict.summaries.append("live " + report.summary())
+
+    fsck_report = fsck(cluster.namespace, cluster.space)
+    if fsck_report.lost_claimed:
+        # A live cluster legitimately has uncommitted (delegated) space,
+        # but free space overlapping committed extents is corruption in
+        # any state.
+        verdict.add("fsck", fsck_report.summary())
+    verdict.summaries.append(fsck_report.summary())
+
+    _common_checks(cluster, verdict)
+    return verdict

@@ -1,0 +1,34 @@
+"""Schedules as lists of fault-clause atoms.
+
+A *schedule* is one fault scenario the checker runs: network loss, delay,
+partition windows, MDS restarts, client deaths, and at most one
+whole-cluster crash cut.  Rather than inventing a new representation,
+the checker reuses :class:`repro.faults.spec.FaultSpec` and treats its
+serialized clause strings as the atoms -- so every schedule, including a
+shrunken counterexample, is directly replayable with ``repro run
+--faults '<spec>'``.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.faults.spec import FaultSpec
+
+__all__ = ["schedule_events", "compose", "describe"]
+
+
+def schedule_events(spec: FaultSpec) -> _t.List[str]:
+    """Decompose a spec into its independent clause atoms."""
+    return [c for c in spec.serialize().split(",") if c]
+
+
+def compose(clauses: _t.Iterable[str]) -> FaultSpec:
+    """Reassemble clause atoms into a runnable spec."""
+    return FaultSpec.parse(",".join(clauses))
+
+
+def describe(spec: FaultSpec) -> str:
+    """Human-oriented one-liner for a schedule ('' for fault-free)."""
+    text = spec.serialize()
+    return text if text else "(fault-free)"

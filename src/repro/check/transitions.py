@@ -1,0 +1,117 @@
+"""Coverage accounting over the protocol's transition points.
+
+The coverage universe is :data:`repro.obs.tracer.TRANSITION_POINTS`:
+every named place the protocol state machine advances (writepage,
+commit-queue enqueue, dedup merge, compound dispatch, commit RPC, MDS
+apply, journal write, disk dispatch, delegation grant, lease
+renew/reclaim).  A checking run *covers* a point when the instrumented
+site fired at least once in at least one explored schedule; the check
+report's coverage fraction is hits over universe size.
+
+Span- and instant-kind points are counted from the tracer; counter-kind
+points (no trace record, only a metric) are read from the registry via
+:data:`COUNTER_METRICS`.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+from dataclasses import dataclass, field
+
+from repro.obs.tracer import TRANSITION_POINTS
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.obs import Instrumentation
+
+__all__ = [
+    "COUNTER_METRICS",
+    "TransitionCoverage",
+    "transition_times",
+]
+
+#: Registry metric backing each counter-kind transition point.
+COUNTER_METRICS: _t.Dict[str, str] = {
+    "lease_renew": "mds.lease_renewals",
+}
+
+
+@dataclass
+class TransitionCoverage:
+    """Hit counts per transition point, merged across schedules."""
+
+    hits: _t.Dict[str, int] = field(
+        default_factory=lambda: {name: 0 for name, _ in TRANSITION_POINTS}
+    )
+
+    def observe(self, obs: "Instrumentation") -> None:
+        """Fold one finished run's trace/metrics into the tally."""
+        tracer = obs.tracer
+        for name, kind in TRANSITION_POINTS:
+            if kind == "span":
+                count = len(tracer.spans_named(name))
+            elif kind == "instant":
+                count = len(tracer.events_named(name))
+            else:
+                metric = COUNTER_METRICS[name]
+                count = int(obs.registry.counter(metric).value)
+            self.hits[name] += count
+
+    @property
+    def covered(self) -> _t.List[str]:
+        return [name for name, _ in TRANSITION_POINTS if self.hits[name]]
+
+    @property
+    def missed(self) -> _t.List[str]:
+        return [
+            name for name, _ in TRANSITION_POINTS if not self.hits[name]
+        ]
+
+    @property
+    def fraction(self) -> float:
+        return len(self.covered) / len(TRANSITION_POINTS)
+
+    def report(self) -> _t.Dict[str, _t.Any]:
+        return {
+            "universe": [name for name, _ in TRANSITION_POINTS],
+            "hits": dict(sorted(self.hits.items())),
+            "covered": self.covered,
+            "missed": self.missed,
+            "fraction": round(self.fraction, 4),
+        }
+
+
+def transition_times(
+    obs: "Instrumentation", samples_per_point: int = 3
+) -> _t.List[_t.Tuple[str, float]]:
+    """Crash-candidate timestamps from a probe run, per transition.
+
+    For each span/instant transition point that fired, pick up to
+    ``samples_per_point`` representative timestamps (first, middle,
+    last occurrence).  Counter-kind points carry no timestamps and are
+    not crash-targetable -- their coverage comes from the runs
+    themselves.  Returned sorted by time for a deterministic schedule
+    order.
+    """
+    out: _t.List[_t.Tuple[str, float]] = []
+    tracer = obs.tracer
+    for name, kind in TRANSITION_POINTS:
+        if kind == "span":
+            times = sorted(s.start for s in tracer.spans_named(name))
+        elif kind == "instant":
+            times = sorted(e.time for e in tracer.events_named(name))
+        else:
+            continue
+        if not times:
+            continue
+        picks: _t.List[float] = [times[0]]
+        if len(times) > 2 and samples_per_point > 2:
+            picks.append(times[len(times) // 2])
+        if len(times) > 1 and samples_per_point > 1:
+            picks.append(times[-1])
+        seen: _t.Set[float] = set()
+        for t in picks[:samples_per_point]:
+            if t not in seen:
+                seen.add(t)
+                out.append((name, t))
+    out.sort(key=lambda pair: (pair[1], pair[0]))
+    return out

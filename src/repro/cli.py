@@ -30,6 +30,11 @@ Commands
 ``crash``
     Crash a busy delayed-commit cluster at a chosen instant, verify the
     ordered-writes invariant, and run recovery.
+``check``
+    Systematic crash-schedule exploration (``repro.check``): enumerate
+    crashes at protocol transition points, layer seeded nemesis fault
+    combinations, judge every schedule against the invariant suite, and
+    shrink failures to minimal replayable ``--faults`` specs.
 
 Examples
 --------
@@ -37,10 +42,12 @@ Examples
 
     python -m repro run --system redbud-delayed --workload xcdn-32K
     python -m repro run --system nfs3 --json
+    python -m repro run --faults 'loss=0.1,mds_restart@0.5:0.2' --check
     python -m repro compare --workload varmail --duration 3
     python -m repro trace --system redbud-delayed --out t.json
     python -m repro stats --system redbud-delayed --workload varmail
     python -m repro crash --at 0.4 --mode unordered
+    python -m repro check --budget 200 --seed 0 --out check.json
     python -m repro bench --figure fig3 --seeds 8
 """
 
@@ -179,6 +186,34 @@ def cmd_run(args: argparse.Namespace) -> int:
         except ValueError as exc:
             print(f"error: bad --faults spec: {exc}", file=sys.stderr)
             return 2
+        if spec.crash_at is not None:
+            # A crash-cut schedule (e.g. a shrunken counterexample from
+            # `repro check`): replay it through the check harness, which
+            # drives the deterministic check workload, pulls the plug at
+            # the requested instant, and judges recovery against the
+            # full invariant suite.
+            if not args.system.startswith("redbud"):
+                print(
+                    "error: --faults supports the redbud systems only",
+                    file=sys.stderr,
+                )
+                return 2
+            from repro.check import run_schedule
+
+            outcome = run_schedule(
+                spec, seed=args.seed, clients=args.clients
+            )
+            print(
+                f"crash schedule {spec.serialize()!r} replayed on the "
+                f"check harness (seed={args.seed}, "
+                f"clients={args.clients})"
+            )
+            for line in outcome.verdict.summaries:
+                print(f"check: {line}")
+            for kind, detail in outcome.verdict.violations:
+                print(f"check VIOLATION [{kind}]: {detail}")
+            print("PASS" if outcome.verdict.ok else "FAIL")
+            return 0 if outcome.verdict.ok else 1
         if spec.empty:
             # An empty spec injects nothing and must behave (and trace)
             # byte-identically to a run without --faults, so don't arm
@@ -209,6 +244,19 @@ def cmd_run(args: argparse.Namespace) -> int:
         # Post-schedule settling: stop injecting, let retries drain.
         injector.stop()
         _settle(cluster)
+    check_verdict = None
+    if getattr(args, "check", False):
+        if not args.system.startswith("redbud"):
+            print(
+                "error: --check supports the redbud systems only",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.check import judge_live
+
+        if injector is None:
+            _settle(cluster)
+        check_verdict = judge_live(cluster)
     if obs is not None:
         from repro.obs import write_chrome_trace
 
@@ -221,8 +269,10 @@ def cmd_run(args: argparse.Namespace) -> int:
         payload = _result_dict(result)
         if injector is not None:
             payload["faults"] = injector.summary()
+        if check_verdict is not None:
+            payload["check"] = check_verdict.as_dict()
         print(json.dumps(payload, indent=2, sort_keys=True))
-        return 0
+        return 0 if check_verdict is None or check_verdict.ok else 1
     table = Table(
         ["metric", "value"],
         title=f"{args.system} / {args.workload} "
@@ -257,6 +307,13 @@ def cmd_run(args: argparse.Namespace) -> int:
             if key in result.extras:
                 fault_table.add_row(key, result.extras[key])
         fault_table.print()
+    if check_verdict is not None:
+        for line in check_verdict.summaries:
+            print(f"check: {line}")
+        for kind, detail in check_verdict.violations:
+            print(f"check VIOLATION [{kind}]: {detail}")
+        if not check_verdict.ok:
+            return 1
     return 0
 
 
@@ -464,6 +521,64 @@ def cmd_crash(args: argparse.Namespace) -> int:
     return 0 if recovery.recovered_consistent else 1
 
 
+def cmd_check(args: argparse.Namespace) -> int:
+    from repro.check import explore
+
+    tweak = None
+    if args.seed_bug == "dedup":
+        # Self-test: disable the MDS's durable commit dedup table.  The
+        # checker must find the resulting double-apply and shrink it to
+        # a minimal replayable schedule.
+        def tweak(cluster: _t.Any) -> None:
+            cluster.mds.commit_dedup_enabled = False
+
+    report = explore(
+        budget=args.budget,
+        seed=args.seed,
+        clients=args.clients,
+        mode=args.mode,
+        tweak=tweak,
+        max_counterexamples=args.max_counterexamples,
+        log=lambda msg: print(msg, file=sys.stderr),
+    )
+    payload = report.as_dict()
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        print(f"wrote report to {args.out}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(report.summary())
+        cov = report.coverage
+        print(
+            f"coverage: {len(cov['covered'])}/{len(cov['universe'])} "
+            f"transition points"
+            + (f" (missed: {', '.join(cov['missed'])})" if cov["missed"]
+               else "")
+        )
+        for schedule in report.schedules:
+            if not schedule["ok"]:
+                print(
+                    f"FAIL [{schedule['kind']}] {schedule['describe']} "
+                    f"-> {', '.join(schedule['violation_kinds'])}"
+                )
+        for ce in report.counterexamples:
+            d = ce.as_dict()
+            print(
+                f"counterexample ({d['minimal_clauses']} clauses, "
+                f"{', '.join(d['kinds'])}): {d['minimal']}"
+            )
+            print(f"  replay: {d['replay']}")
+        if args.seed_bug != "none" and report.counterexamples:
+            print(
+                f"note: schedules fail only with the seeded bug "
+                f"({args.seed_bug}); the replay commands PASS on the "
+                f"healthy system"
+            )
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -499,8 +614,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="inject faults (redbud systems only); comma-separated "
         "clauses: loss=P, delay=P:MAX, partition=CID@T0-T1, "
-        "mds_restart@T:D, client_death=CID@T -- e.g. "
+        "mds_restart@T:D, client_death=CID@T, crash@T -- e.g. "
         "'loss=0.05,mds_restart@0.5:0.2,client_death=2@0.8'",
+    )
+    p_run.add_argument(
+        "--check",
+        action="store_true",
+        help="after the run (and settling), run fsck + the full "
+        "invariant suite; exit nonzero on any violation "
+        "(redbud systems only)",
     )
     p_run.set_defaults(func=cmd_run)
 
@@ -573,6 +695,47 @@ def build_parser() -> argparse.ArgumentParser:
         "--at", type=float, default=0.3, help="crash after this many seconds"
     )
     p_crash.set_defaults(func=cmd_crash)
+
+    p_check = sub.add_parser(
+        "check",
+        help="crash-schedule exploration + invariant checking + "
+        "counterexample shrinking",
+    )
+    p_check.add_argument(
+        "--budget",
+        type=int,
+        default=200,
+        help="schedules to explore (default %(default)s)",
+    )
+    p_check.add_argument("--seed", type=int, default=0)
+    p_check.add_argument("--clients", type=int, default=3)
+    p_check.add_argument(
+        "--mode",
+        choices=("synchronous", "delayed", "unordered"),
+        default="delayed",
+        help="commit-protocol scope to check (unordered is the "
+        "deliberately broken control)",
+    )
+    p_check.add_argument(
+        "--max-counterexamples",
+        type=int,
+        default=3,
+        help="failures to shrink (default %(default)s)",
+    )
+    p_check.add_argument(
+        "--seed-bug",
+        choices=("none", "dedup"),
+        default="none",
+        help="deliberately seed a bug (self-test): 'dedup' disables "
+        "the MDS commit dedup table",
+    )
+    p_check.add_argument(
+        "--out", metavar="PATH", help="write the JSON report here"
+    )
+    p_check.add_argument(
+        "--json", action="store_true", help="print the JSON report"
+    )
+    p_check.set_defaults(func=cmd_check)
     return parser
 
 

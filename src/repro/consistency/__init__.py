@@ -9,10 +9,17 @@ is acceptable and reclaimed by garbage collection.
 - :mod:`repro.consistency.invariant` -- the checker for both directions.
 - :mod:`repro.consistency.crash` -- whole-cluster power-loss injection.
 - :mod:`repro.consistency.recovery` -- post-crash scan + orphan GC.
+- :mod:`repro.consistency.history` -- oplog replay + trace-level
+  ordering checks (the full-history oracle ``repro.check`` judges with).
 """
 
 from repro.consistency.crash import CrashState, crash_cluster
 from repro.consistency.fsck import FsckReport, fsck, rebuild_free_space
+from repro.consistency.history import (
+    HistoryReport,
+    check_commit_ordering,
+    check_history,
+)
 from repro.consistency.invariant import (
     ConsistencyReport,
     Violation,
@@ -24,8 +31,11 @@ __all__ = [
     "ConsistencyReport",
     "CrashState",
     "FsckReport",
+    "HistoryReport",
     "RecoveryReport",
     "Violation",
+    "check_commit_ordering",
+    "check_history",
     "check_ordered_writes",
     "crash_cluster",
     "fsck",

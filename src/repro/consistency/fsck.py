@@ -100,14 +100,30 @@ def rebuild_free_space(
         cursor_align=space.groups[0].cursor_align if space.groups else 0,
     )
     for offset, length in namespace.all_committed_ranges():
-        claimed = _claim(rebuilt, offset, length)
-        assert claimed, f"committed extent [{offset}, {offset + length}) " \
-                        "does not fit the rebuilt volume"
+        if not _claim(rebuilt, offset, length):
+            # Two files claiming the same volume bytes, or an extent
+            # outside the managed volume: not repairable by a space
+            # rebuild.  (A real exception, not an assert: this must
+            # fire under ``python -O`` too.)
+            raise ValueError(
+                f"committed extent [{offset}, {offset + length}) does "
+                "not fit the rebuilt volume (overlapping or out of "
+                "bounds)"
+            )
     return rebuilt
 
 
 def _claim(space: SpaceManager, offset: int, length: int) -> bool:
-    """Mark ``[offset, offset+length)`` allocated in a fresh manager."""
+    """Mark ``[offset, offset+length)`` allocated in a fresh manager.
+
+    Atomic: either the whole range is claimed, or nothing is -- a
+    partial failure rolls back the pieces already taken, so a failed
+    claim cannot corrupt the books of the manager being rebuilt.  A
+    range not fully covered by the allocation groups (committed bytes in
+    unmanaged space) is a failure, not a silent success.
+    """
+    pieces: _t.List[_t.Tuple[_t.Any, int, int]] = []
+    covered = 0
     for group in space.groups:
         lo = max(offset, group.start)
         hi = min(offset + length, group.end)
@@ -117,5 +133,13 @@ def _claim(space: SpaceManager, offset: int, length: int) -> bool:
                 # The exact range must have been free in a fresh manager.
                 if got is not None:
                     group.free(got, hi - lo)
+                for other, o_lo, o_len in pieces:
+                    other.free(o_lo, o_len)
                 return False
+            pieces.append((group, lo, hi - lo))
+            covered += hi - lo
+    if covered != length:
+        for other, o_lo, o_len in pieces:
+            other.free(o_lo, o_len)
+        return False
     return True

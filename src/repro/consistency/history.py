@@ -1,0 +1,198 @@
+"""Full-history checking of the namespace against the MDS oplog.
+
+The recovery checker (:mod:`repro.consistency.invariant`) validates the
+*final state* of a crashed-and-recovered cluster.  This module closes
+the remaining gap: a state can be internally consistent yet wrong -- for
+example, a commit applied twice can leave the extent map valid while the
+space accounting quietly drifted, or a lost create can leave a namespace
+that passes ``check_invariants`` but disagrees with what the MDS
+acknowledged.
+
+Two checks, both pure functions over recorded artefacts:
+
+``check_history``
+    Replays the MDS's durable oplog (``MetadataServer.oplog``: the
+    journal analogue of every create / commit / unlink it applied) into
+    a fresh shadow :class:`~repro.mds.namespace.Namespace` and compares
+    it file-by-file against the live namespace.  Any divergence means
+    the live state was mutated by something the journal never saw (or
+    vice versa) -- a serializability violation in the sense of the
+    paper's §V.A metadata protocol.
+
+``check_commit_ordering``
+    A trace-level restatement of the asynchronous ordered-writes rule
+    (paper §III): for every update that was committed to the MDS, every
+    ``writepage`` of that update must have *finished* before the first
+    commit RPC carrying it was sent.  The ``unordered`` control mode
+    violates this by construction; ``delayed`` must never.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+from dataclasses import dataclass, field
+
+from repro.mds.extent import EXTENT_COMMITTED, Extent
+from repro.mds.namespace import Namespace
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.tracer import Tracer
+
+__all__ = ["HistoryReport", "check_history", "check_commit_ordering"]
+
+#: One oplog entry, as appended by the MDS:
+#: ``("create", file_id, name, t)`` / ``("unlink", file_id, t)`` /
+#: ``("commit", file_id, ((file_off, length, vol_off), ...), t)``.
+OplogEntry = _t.Tuple[_t.Any, ...]
+
+
+@dataclass
+class HistoryReport:
+    """Outcome of replaying the oplog against the live namespace."""
+
+    ops_replayed: int = 0
+    violations: _t.List[str] = field(default_factory=list)
+
+    @property
+    def consistent(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        verdict = "consistent" if self.consistent else "DIVERGED"
+        return (
+            f"history: {verdict}, {self.ops_replayed} ops replayed, "
+            f"{len(self.violations)} violation(s)"
+        )
+
+
+def _extent_tuples(meta_extents: _t.Iterable[Extent]) -> _t.Tuple:
+    return tuple(
+        sorted(
+            (e.file_offset, e.length, e.volume_offset)
+            for e in meta_extents
+        )
+    )
+
+
+def check_history(
+    oplog: _t.Sequence[OplogEntry], namespace: Namespace
+) -> HistoryReport:
+    """Replay ``oplog`` into a shadow namespace and diff against live.
+
+    The oplog is the MDS's journal analogue: it survives MDS crashes, so
+    after recovery the live namespace must be *exactly* the state the
+    journal reproduces.  File ids are assigned sequentially by the
+    namespace, so replaying creates in order must reproduce the logged
+    ids -- a mismatch means the journal itself is torn.
+    """
+    report = HistoryReport()
+    shadow = Namespace()
+    for entry in oplog:
+        kind = entry[0]
+        if kind == "create":
+            _, file_id, name, t = entry
+            meta = shadow.create(name, t)
+            if meta.file_id != file_id:
+                report.violations.append(
+                    f"oplog replay id skew: create({name!r}) produced "
+                    f"file {meta.file_id}, journal says {file_id}"
+                )
+        elif kind == "commit":
+            _, file_id, triples, t = entry
+            if file_id not in shadow:
+                report.violations.append(
+                    f"oplog commit for file {file_id} precedes its create"
+                )
+                continue
+            shadow.commit_extents(
+                file_id,
+                [
+                    Extent(
+                        file_offset=fo,
+                        length=ln,
+                        device_id=0,
+                        volume_offset=vo,
+                        state=EXTENT_COMMITTED,
+                    )
+                    for fo, ln, vo in triples
+                ],
+                t,
+            )
+        elif kind == "unlink":
+            _, file_id, t = entry
+            if file_id not in shadow:
+                report.violations.append(
+                    f"oplog unlink of unknown file {file_id}"
+                )
+                continue
+            shadow.unlink(file_id)
+        else:  # pragma: no cover - future-proofing
+            report.violations.append(f"unknown oplog entry kind {kind!r}")
+        report.ops_replayed += 1
+
+    live_files = {m.file_id: m for m in namespace.all_files()}
+    shadow_files = {m.file_id: m for m in shadow.all_files()}
+    for file_id in sorted(shadow_files.keys() - live_files.keys()):
+        report.violations.append(
+            f"file {file_id} in journal replay but missing from live "
+            f"namespace"
+        )
+    for file_id in sorted(live_files.keys() - shadow_files.keys()):
+        report.violations.append(
+            f"file {file_id} live but absent from journal replay"
+        )
+    for file_id in sorted(live_files.keys() & shadow_files.keys()):
+        live, ghost = live_files[file_id], shadow_files[file_id]
+        if live.name != ghost.name:
+            report.violations.append(
+                f"file {file_id} name skew: live {live.name!r} vs "
+                f"journal {ghost.name!r}"
+            )
+        live_map = _extent_tuples(live.extents)
+        ghost_map = _extent_tuples(ghost.extents)
+        if live_map != ghost_map:
+            report.violations.append(
+                f"file {file_id} extent map diverged from journal "
+                f"replay: live={live_map} journal={ghost_map}"
+            )
+    return report
+
+
+def check_commit_ordering(tracer: "Tracer") -> _t.List[str]:
+    """Ordered-writes rule over the causal trace (paper §III).
+
+    For each update id that appears in a ``rpc:commit`` span, every
+    ``writepage`` span carrying that update must be finished no later
+    than the commit RPC's send time.  An unfinished writepage (the data
+    never reached the array) with a sent commit is the exact failure the
+    ordered-commit protocol exists to prevent.
+    """
+    violations: _t.List[str] = []
+    first_commit: _t.Dict[int, float] = {}
+    for span in tracer.spans:
+        if span.name != "rpc:commit":
+            continue
+        for uid in span.update_ids:
+            if uid not in first_commit or span.start < first_commit[uid]:
+                first_commit[uid] = span.start
+    if not first_commit:
+        return violations
+    for span in tracer.spans:
+        if span.name != "writepage":
+            continue
+        for uid in span.update_ids:
+            sent = first_commit.get(uid)
+            if sent is None:
+                continue
+            if not span.finished:
+                violations.append(
+                    f"update {uid}: commit RPC sent at {sent:.6f} but "
+                    f"writepage (started {span.start:.6f}) never "
+                    f"completed"
+                )
+            elif span.end is not None and span.end > sent:
+                violations.append(
+                    f"update {uid}: commit RPC sent at {sent:.6f} "
+                    f"before writepage completed at {span.end:.6f}"
+                )
+    return violations

@@ -195,6 +195,20 @@ class CommitQueue:
             keep.extend(records[scanned:])
             self._records = keep
             self.checkouts += len(batch)
+            if self.obs is not None:
+                self.obs.tracer.instant(
+                    "commit_checkout",
+                    "queue",
+                    node=self.node,
+                    actor="commit-queue",
+                    update_ids=tuple(
+                        uid for r in batch for uid in r.trace_ids
+                    ),
+                    files=tuple(r.file_id for r in batch),
+                )
+                self.obs.registry.counter("commit_queue.checkouts").inc(
+                    len(batch)
+                )
             self._changed()
             self._wake_room_waiters()
         return batch

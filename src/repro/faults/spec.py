@@ -12,15 +12,22 @@ A spec is a comma-separated list of clauses::
                            later (inbox contents are lost)
     client_death=CID@T     kill client CID at time T (volatile state and
                            queued I/O lost; lease GC reclaims its space)
+    crash@T                whole-cluster crash at time T -- the run is cut
+                           short, recovery runs, and the consistency
+                           invariants are checked (handled by the harness,
+                           not the injector)
 
 Example: ``loss=0.05,delay=0.1:0.004,mds_restart@0.5:0.2,client_death=2@0.8``.
 
 Multiple ``partition``/``mds_restart``/``client_death`` clauses may be
-given.  An empty string parses to the empty spec, which injects nothing.
+given; at most one ``crash``.  An empty string parses to the empty spec,
+which injects nothing.  ``FaultSpec.serialize`` renders a spec back into
+this language such that ``parse(spec.serialize()) == spec``.
 """
 
 from __future__ import annotations
 
+import re
 import typing as _t
 from dataclasses import dataclass, field
 
@@ -83,6 +90,10 @@ class FaultSpec:
     partitions: _t.Tuple[Partition, ...] = field(default_factory=tuple)
     mds_restarts: _t.Tuple[MdsRestart, ...] = field(default_factory=tuple)
     client_deaths: _t.Tuple[ClientDeath, ...] = field(default_factory=tuple)
+    #: Whole-cluster crash time.  The injector ignores this field; the
+    #: crash-schedule harness (``repro.check``) and ``repro run`` cut the
+    #: run at this instant and run recovery + the consistency oracle.
+    crash_at: _t.Optional[float] = None
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.loss < 1.0:
@@ -95,10 +106,17 @@ class FaultSpec:
             raise ValueError(f"delay_max must be >= 0, got {self.delay_max}")
         if self.delay_prob > 0 and self.delay_max <= 0:
             raise ValueError("delay clause needs a positive max delay")
+        if self.crash_at is not None and self.crash_at < 0:
+            raise ValueError(f"crash time must be >= 0, got {self.crash_at}")
 
     @property
     def empty(self) -> bool:
-        """True when this spec injects nothing at all."""
+        """True when the *injector* has nothing to do.
+
+        ``crash_at`` is deliberately excluded: the crash is enacted by the
+        harness that drives the run, not by ``FaultInjector``, so a spec
+        carrying only a crash still takes the unperturbed fast path.
+        """
         return (
             self.loss == 0.0
             and self.delay_prob == 0.0
@@ -116,6 +134,7 @@ class FaultSpec:
         partitions: _t.List[Partition] = []
         mds_restarts: _t.List[MdsRestart] = []
         client_deaths: _t.List[ClientDeath] = []
+        crash_at: _t.Optional[float] = None
         for raw in text.split(","):
             clause = raw.strip()
             if not clause:
@@ -129,7 +148,9 @@ class FaultSpec:
                     delay_max = float(max_s)
                 elif clause.startswith("partition="):
                     cid_s, window = clause[len("partition="):].split("@")
-                    start_s, end_s = window.split("-")
+                    # Split on the window separator only, not the "-" of a
+                    # scientific-notation exponent (e.g. "1e-05-0.5").
+                    start_s, end_s = re.split(r"(?<![eE])-", window)
                     partitions.append(
                         Partition(
                             client_id=int(cid_s),
@@ -147,6 +168,10 @@ class FaultSpec:
                     client_deaths.append(
                         ClientDeath(client_id=int(cid_s), at=float(at_s))
                     )
+                elif clause.startswith("crash@"):
+                    if crash_at is not None:
+                        raise ValueError("at most one crash clause")
+                    crash_at = float(clause[len("crash@"):])
                 else:
                     raise ValueError(f"unknown fault clause {clause!r}")
             except (ValueError, TypeError) as exc:
@@ -162,7 +187,29 @@ class FaultSpec:
             partitions=tuple(partitions),
             mds_restarts=tuple(mds_restarts),
             client_deaths=tuple(client_deaths),
+            crash_at=crash_at,
         )
+
+    def serialize(self) -> str:
+        """Render back into the ``--faults`` mini-language.
+
+        ``FaultSpec.parse(spec.serialize()) == spec`` for every spec;
+        floats are emitted with ``repr`` so round-trips are exact.
+        """
+        clauses: _t.List[str] = []
+        if self.loss:
+            clauses.append(f"loss={self.loss!r}")
+        if self.delay_prob:
+            clauses.append(f"delay={self.delay_prob!r}:{self.delay_max!r}")
+        for p in self.partitions:
+            clauses.append(f"partition={p.client_id}@{p.start!r}-{p.end!r}")
+        for r in self.mds_restarts:
+            clauses.append(f"mds_restart@{r.at!r}:{r.downtime!r}")
+        for d in self.client_deaths:
+            clauses.append(f"client_death={d.client_id}@{d.at!r}")
+        if self.crash_at is not None:
+            clauses.append(f"crash@{self.crash_at!r}")
+        return ",".join(clauses)
 
     @classmethod
     def random(

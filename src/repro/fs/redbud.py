@@ -140,10 +140,27 @@ class RedbudCluster(BaseCluster):
             downlinks,
             obs=obs,
         )
+        if self.mds.gc is not None:
+            # Storage-side fencing (DESIGN §8): reclaiming a silent
+            # client's space also revokes its array write access, so a
+            # reclaimed-but-alive client cannot scribble over blocks the
+            # MDS may already have re-allocated.
+            self.mds.gc.on_reclaim = self.array.fence
+            # When the fenced client is next heard from, the (modelled)
+            # state-re-establishment handshake stamps its future writes
+            # with the current generation; anything it queued before
+            # re-admission stays behind the fence.
+            self.mds.gc.on_readmit = self._readmit_client
         if obs is not None:
             from repro.obs.instrument import register_redbud_gauges
 
             register_redbud_gauges(obs, self)
+
+    def _readmit_client(self, client_id: int) -> None:
+        if 0 <= client_id < len(self.clients):
+            self.clients[client_id].blockdev.write_generation = (
+                self.array.fence_generations.get(client_id, 0)
+            )
 
     # -- BaseCluster surface ------------------------------------------------------
 

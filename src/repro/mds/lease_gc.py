@@ -77,6 +77,7 @@ class LeaseGarbageCollector:
         space: SpaceManager,
         lease_duration: float = 30.0,
         scan_interval: float = 5.0,
+        obs: _t.Optional[_t.Any] = None,
     ) -> None:
         if lease_duration <= 0 or scan_interval <= 0:
             raise ValueError("lease_duration and scan_interval must be > 0")
@@ -84,9 +85,24 @@ class LeaseGarbageCollector:
         self.space = space
         self.lease_duration = lease_duration
         self.scan_interval = scan_interval
+        #: Observability bundle (``repro.obs.Instrumentation``) or None.
+        self.obs = obs
         self.leases = LeaseTable()
         self.events: _t.List[GcEvent] = []
         self.bytes_reclaimed_total = 0
+        #: Called with the reclaimed client's id after each reclamation;
+        #: the cluster wires this to :meth:`DiskArray.fence` so a
+        #: reclaimed-but-alive client's in-flight data writes cannot land
+        #: on blocks that may already be re-allocated (DESIGN §8).
+        self.on_reclaim: _t.Optional[_t.Callable[[int], None]] = None
+        #: Called when a *fenced* client is next heard from.  Real
+        #: protocols make a fenced client re-establish its state (a new
+        #: NFSv4 client id / layout stateid) before issuing new writes;
+        #: the simulation collapses that handshake into this callback,
+        #: which re-stamps the client's write generation.  Writes issued
+        #: before re-admission stay behind the fence.
+        self.on_readmit: _t.Optional[_t.Callable[[int], None]] = None
+        self._fenced: _t.Set[int] = set()
         #: True while the MDS is crashed: a dead MDS collects nothing.
         self.paused = False
         self._process = env.process(self._run(), name="mds-lease-gc")
@@ -94,6 +110,12 @@ class LeaseGarbageCollector:
     def renew(self, client_id: int) -> None:
         """Record activity from ``client_id`` (called per RPC)."""
         self.leases.renew(client_id, self.env.now)
+        if self.obs is not None:
+            self.obs.registry.counter("mds.lease_renewals").inc()
+        if client_id in self._fenced:
+            self._fenced.discard(client_id)
+            if self.on_readmit is not None:
+                self.on_readmit(client_id)
 
     def pause(self) -> None:
         """Suspend collection (MDS crash)."""
@@ -139,4 +161,14 @@ class LeaseGarbageCollector:
                     bytes_reclaimed=reclaimed,
                 )
             )
+            if self.obs is not None:
+                self.obs.tracer.instant(
+                    "lease_reclaim", "mds", node="mds",
+                    actor="mds-lease-gc",
+                    client=client_id, bytes=reclaimed,
+                )
+                self.obs.registry.counter("mds.lease_reclaims").inc()
+            if self.on_reclaim is not None:
+                self.on_reclaim(client_id)
+                self._fenced.add(client_id)
         return reclaimed_now

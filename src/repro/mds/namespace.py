@@ -101,7 +101,14 @@ class Namespace:
         for extent in extents:
             for offset, length in self._insert_extent(meta, extent):
                 displaced.add(offset, offset + length)
-        for extent in extents:
+        # A displaced range is only *free* if nothing maps it after the
+        # whole batch: an in-place rewrite displaces itself but stays
+        # live, and when one batch carries two versions of the same file
+        # range (a rewrite deduped into a pending commit record), the
+        # superseded extent's space genuinely frees -- excluding every
+        # batch extent here (rather than every surviving mapping) used
+        # to leak it.
+        for extent in meta.extents:
             displaced.remove(extent.volume_offset, extent.volume_end)
         meta.mtime = now
         meta.size = max(

@@ -119,9 +119,18 @@ class MetadataServer:
         #: (journalled with the metadata it guards, so it survives MDS
         #: restarts) -- see DESIGN.md "Failure model".
         self._commit_results: _t.Dict[_t.Tuple[int, int], bool] = {}
+        #: Kill switch for the durable dedup table above.  Only the
+        #: crash-schedule checker flips this off, to prove the harness
+        #: detects the double-apply bug the table exists to prevent.
+        self.commit_dedup_enabled = True
         #: Audit trail for tests: how many times each commit op was
         #: actually applied (must never exceed 1).
         self.commit_apply_counts: _t.Dict[_t.Tuple[int, int], int] = {}
+        #: Durable namespace operation log (journal analogue): every
+        #: applied create/commit/unlink in apply order, for history
+        #: replay by ``repro.consistency.history``.  Survives crashes
+        #: like the metadata it describes.
+        self.oplog: _t.List[_t.Tuple[_t.Any, ...]] = []
         self.duplicate_commits_suppressed = 0
         #: NFS-style duplicate request cache for whole messages, keyed
         #: ``(client_id, xid)``.  Volatile (cleared on crash): commit
@@ -138,6 +147,7 @@ class MetadataServer:
                 space,
                 lease_duration=params.lease_duration,
                 scan_interval=params.gc_scan_interval,
+                obs=obs,
             )
         self._daemons = self._spawn_daemons()
 
@@ -284,7 +294,11 @@ class MetadataServer:
         now = self.env.now
         if isinstance(payload, CreatePayload):
             try:
-                return self.namespace.create(payload.name, now)
+                meta = self.namespace.create(payload.name, now)
+                self.oplog.append(
+                    ("create", meta.file_id, payload.name, now)
+                )
+                return meta
             except FileExistsMdsError:
                 # NFS UNCHECKED-create semantics: a retransmitted create
                 # whose original applied but whose reply-cache entry was
@@ -308,9 +322,16 @@ class MetadataServer:
         if isinstance(payload, CommitPayload):
             return self._commit(payload, message.client_id)
         if isinstance(payload, DelegationPayload):
-            return self.space.alloc_chunk(
+            chunk = self.space.alloc_chunk(
                 payload.chunk_size, client_id=message.client_id
             )
+            if chunk is not None and self.obs is not None:
+                self.obs.tracer.instant(
+                    "delegation_grant", "mds", node="mds", actor="mds",
+                    client=message.client_id, bytes=chunk.length,
+                )
+                self.obs.registry.counter("mds.delegation_grants").inc()
+            return chunk
         if isinstance(payload, ReleasePayload):
             for offset, length in payload.chunks:
                 self.space.release_uncommitted(
@@ -320,6 +341,7 @@ class MetadataServer:
         if isinstance(payload, UnlinkPayload):
             if payload.file_id not in self.namespace:
                 return None  # double unlink race
+            self.oplog.append(("unlink", payload.file_id, now))
             for offset, length in self.namespace.unlink(payload.file_id):
                 self.space.note_committed(offset, length)
                 self.space.free(offset, length)
@@ -342,6 +364,12 @@ class MetadataServer:
             chunk = self.space.alloc_chunk(
                 self.params.delegation_chunk, client_id=client_id
             )
+            if chunk is not None and self.obs is not None:
+                self.obs.tracer.instant(
+                    "delegation_grant", "mds", node="mds", actor="mds",
+                    client=client_id, bytes=chunk.length,
+                )
+                self.obs.registry.counter("mds.delegation_grants").inc()
         return LayoutReply(extents=extents, chunk=chunk)
 
     def _allocate_holes(
@@ -406,7 +434,10 @@ class MetadataServer:
             dedup_key = None
             if op.op_id is not None:
                 dedup_key = (client_id, op.op_id)
-                if dedup_key in self._commit_results:
+                if (
+                    self.commit_dedup_enabled
+                    and dedup_key in self._commit_results
+                ):
                     self.duplicate_commits_suppressed += 1
                     if self.obs is not None:
                         self.obs.tracer.instant(
@@ -426,6 +457,15 @@ class MetadataServer:
                 self.commit_apply_counts[dedup_key] = (
                     self.commit_apply_counts.get(dedup_key, 0) + 1
                 )
+                if self.obs is not None:
+                    # The dedup-table write is journalled with the
+                    # metadata it guards (DESIGN §8).
+                    self.obs.tracer.instant(
+                        "journal_write", "mds", node="mds", actor="mds",
+                        update_ids=op.trace_ids,
+                        op_id=op.op_id, client=client_id,
+                    )
+                    self.obs.registry.counter("mds.journal_writes").inc()
             results.append(result)
         return results
 
@@ -463,6 +503,25 @@ class MetadataServer:
                 )
             for offset, length in freed:
                 self.space.free(offset, length)
+            self.oplog.append(
+                (
+                    "commit",
+                    op.file_id,
+                    tuple(
+                        (e.file_offset, e.length, e.volume_offset)
+                        for e in applied
+                    ),
+                    self.env.now,
+                )
+            )
+            if self.obs is not None:
+                self.obs.tracer.instant(
+                    "commit_apply", "mds", node="mds", actor="mds",
+                    update_ids=op.trace_ids,
+                    file_id=op.file_id, client=client_id,
+                    extents=len(applied),
+                )
+                self.obs.registry.counter("mds.commit_applies").inc()
         return True
 
     # -- introspection -----------------------------------------------------------

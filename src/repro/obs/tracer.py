@@ -192,6 +192,30 @@ CHAIN_STAGES: _t.Tuple[str, ...] = (
 )
 
 
+#: Canonical protocol state-transition points, ``name -> how it is
+#: observed``: a ``span``/``instant`` is matched against trace names, a
+#: ``counter`` against the metric registry.  This is the crash-schedule
+#: checker's coverage universe (``repro.check.transitions``): every name
+#: here is a place the cluster's protocol state machine advances, and a
+#: crash is worth scheduling just after each.  Keep in sync with the
+#: emitting sites when adding instrumentation.
+TRANSITION_POINTS: _t.Tuple[_t.Tuple[str, str], ...] = (
+    ("writepage", "span"),            # client data write issued
+    ("commit_queued", "span"),        # commit-queue enqueue
+    ("commit_merge", "instant"),      # dedup merge into resident record
+    ("commit_checkout", "instant"),   # stable records leave the queue
+    ("compound_assembly", "instant"),  # compound RPC dispatch
+    ("rpc:commit", "span"),           # commit RPC send
+    ("mds_handle", "span"),           # MDS receive/handle
+    ("commit_apply", "instant"),      # namespace mutation applied
+    ("journal_write", "instant"),     # dedup-table journal write
+    ("disk_dispatch", "span"),        # block request reaches a spindle
+    ("delegation_grant", "instant"),  # space delegation granted
+    ("lease_renew", "counter"),       # lease renewed by client RPC
+    ("lease_reclaim", "instant"),     # lease GC reclaims orphan space
+)
+
+
 def update_stages(tracer: Tracer) -> _t.Dict[int, _t.Set[str]]:
     """Map each update id to the set of stage names it passed through."""
     stages: _t.Dict[int, _t.Set[str]] = {}

@@ -37,6 +37,14 @@ class BlockDevice:
     ) -> None:
         self.env = env
         self.client_id = client_id
+        #: Write-generation fencing token stamped into every request.
+        #: The *array-side* fence generation moves on lease reclaim, at
+        #: which point this client's outstanding writes are rejected.
+        #: When the client is next heard from, re-admission
+        #: (``RedbudCluster._readmit_client``) re-stamps this to the
+        #: current array generation -- the collapsed form of the NFSv4
+        #: state re-establishment handshake.
+        self.write_generation = 0
         self.scheduler = ElevatorScheduler(
             env, client_id, max_merge_bytes=max_merge_bytes, obs=obs
         )
@@ -87,6 +95,7 @@ class BlockDevice:
             completion=completion,
             sync=sync,
             trace_update=trace_update,
+            write_generation=self.write_generation,
         )
         self.scheduler.submit(request)
         return completion

@@ -196,6 +196,40 @@ class DiskArray:
         #: completed (at most one per spindle).  These sit on the lost
         #: side of the crash boundary together with queued requests.
         self.in_flight: _t.List[BlockRequest] = []
+        #: Per-client fence generation (DESIGN §8).  A WRITE whose
+        #: ``write_generation`` is below its client's entry here is
+        #: rejected at command level -- the persistent-reservation
+        #: fencing that makes lease reclamation safe against a
+        #: reclaimed-but-alive client still flushing writeback.
+        self.fence_generations: _t.Dict[int, int] = {}
+        self.fenced_writes = 0
+
+    def fence(self, client_id: int) -> int:
+        """Revoke ``client_id``'s write access: bump its fence generation.
+
+        Called by the lease garbage collector after reclaiming the
+        client's uncommitted space; every data write the client issued
+        before learning of the revocation (it may be alive behind a
+        partition) now bounces off the array instead of landing on
+        possibly re-allocated blocks.  Returns the new generation.
+        """
+        gen = self.fence_generations.get(client_id, 0) + 1
+        self.fence_generations[client_id] = gen
+        if self.obs is not None:
+            self.obs.tracer.instant(
+                "array_fence", "fault", node="array", actor="array",
+                client=client_id, generation=gen,
+            )
+            self.obs.registry.counter("array.fences").inc()
+        return gen
+
+    def write_fenced(self, request: BlockRequest) -> bool:
+        """Whether ``request`` is a WRITE behind its client's fence."""
+        return (
+            request.op == WRITE
+            and request.write_generation
+            < self.fence_generations.get(request.client_id, 0)
+        )
 
     # -- wiring ---------------------------------------------------------------
 
@@ -292,7 +326,18 @@ class DiskArray:
                     yield self._wakeups[spindle]
                 continue
 
-            service, seek_distance = self.service_time(spindle, request)
+            fenced = self.write_fenced(request)
+            if fenced:
+                # Rejected at command level: the controller validates the
+                # reservation before any mechanical work, so the request
+                # pays only command overhead, moves no head, and -- the
+                # point of fencing -- never reaches the platters.
+                service = self.params.command_overhead
+                seek_distance = 0
+            else:
+                service, seek_distance = self.service_time(
+                    spindle, request
+                )
             # Dispatched but not yet durable: if the cluster dies now,
             # this request is lost (crash_cluster counts it alongside
             # still-queued requests).  It leaves in_flight only after its
@@ -315,6 +360,27 @@ class DiskArray:
             start = env.now
             yield env.timeout(service)
             self.busy_time += env.now - start
+
+            if fenced:
+                self.fenced_writes += 1
+                if self.obs is not None:
+                    self.obs.tracer.instant(
+                        "write_fenced", "fault", node="array",
+                        actor=f"spindle-{spindle}",
+                        update_ids=request.trace_updates(),
+                        client=request.client_id,
+                        start=request.start,
+                        length=request.length,
+                    )
+                    self.obs.registry.counter("array.fenced_writes").inc()
+                if dispatch_span is not None:
+                    self.obs.tracer.end(dispatch_span, fenced=True)
+                self.in_flight.remove(request)
+                # The completion still fires (the command returned, with
+                # an error status); the client side of error handling is
+                # out of scope -- what matters is the data never landed.
+                request.complete_all()
+                continue
 
             self._heads[spindle] = request.end
             self._local_heads[spindle] = (

@@ -56,6 +56,13 @@ class BlockRequest:
     #: Causal-trace id of the logical update that issued this request
     #: (None when tracing is off or the request is not part of a write).
     trace_update: _t.Optional[int] = None
+    #: Write-generation fencing token (DESIGN §8): stamped from the
+    #: owning block device at submission.  The array rejects a WRITE
+    #: whose generation is below the client's fence generation -- the
+    #: SCSI persistent-reservation analogue that keeps a
+    #: reclaimed-but-alive client from scribbling over re-allocated
+    #: blocks.
+    write_generation: int = 0
     #: Cached owning spindle of ``start``.  The start address never
     #: changes after submission (merges only extend ``length``), so the
     #: striping function is evaluated at most once per request instead of
@@ -240,6 +247,7 @@ class ElevatorScheduler:
                 head.op == request.op
                 and head.end == request.start
                 and head.length + request.length <= self.max_merge_bytes
+                and head.write_generation == request.write_generation
             ):
                 head.merged.append(request)
                 head.length += request.length
@@ -255,6 +263,7 @@ class ElevatorScheduler:
                 tail.op == request.op
                 and request.end == tail.start
                 and tail.length + request.length <= self.max_merge_bytes
+                and tail.write_generation == request.write_generation
             ):
                 # The new request becomes the head of the merged pair.
                 self._queue.pop(idx)

@@ -1,0 +1,106 @@
+"""CLI surface of the crash-schedule checker."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def test_check_command_small_budget(capsys):
+    code = main(["check", "--budget", "4", "--seed", "0"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "schedules" in out
+    assert "coverage" in out
+
+
+def test_check_command_json(capsys):
+    code = main(["check", "--budget", "3", "--seed", "0", "--json"])
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["ok"] is True
+    assert payload["schedules_run"] == 3
+    assert payload["coverage"]["fraction"] > 0
+    assert payload["counterexamples"] == []
+
+
+def test_check_command_writes_report(capsys, tmp_path):
+    out_path = tmp_path / "report.json"
+    code = main(
+        ["check", "--budget", "3", "--seed", "0", "--out", str(out_path)]
+    )
+    assert code == 0
+    payload = json.loads(out_path.read_text())
+    assert payload["seed"] == 0
+    capsys.readouterr()
+
+
+def test_run_with_check_flag(capsys):
+    code = main(
+        [
+            "run",
+            "--system",
+            "redbud-delayed",
+            "--workload",
+            "xcdn-32K",
+            "--clients",
+            "2",
+            "--duration",
+            "0.4",
+            "--check",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "check:" in out
+
+
+def test_run_check_flag_rejects_non_redbud(capsys):
+    code = main(
+        [
+            "run",
+            "--system",
+            "nfs3",
+            "--workload",
+            "varmail",
+            "--duration",
+            "0.2",
+            "--check",
+        ]
+    )
+    assert code == 2
+    capsys.readouterr()
+
+
+def test_run_replays_crash_schedule(capsys):
+    code = main(
+        [
+            "run",
+            "--system",
+            "redbud-delayed",
+            "--faults",
+            "crash@0.05",
+            "--seed",
+            "0",
+            "--clients",
+            "3",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "crash schedule" in out
+    assert "PASS" in out
+
+
+def test_check_parser_defaults():
+    from repro.cli import build_parser
+
+    args = build_parser().parse_args(["check"])
+    assert args.budget == 200
+    assert args.seed == 0
+    assert args.clients == 3
+    assert args.mode == "delayed"
+    assert args.seed_bug == "none"
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["check", "--mode", "bogus"])

@@ -1,0 +1,57 @@
+"""Schedules are FaultSpec clause atoms; serialization must round-trip."""
+
+import pytest
+
+from repro.check import compose, describe, schedule_events
+from repro.faults.spec import FaultSpec
+
+
+def test_serialize_parse_round_trip():
+    text = (
+        "loss=0.05,delay=0.1:0.02,partition=2@0.5-0.75,"
+        "mds_restart@0.4:0.2,client_death=1@0.8,crash@0.33"
+    )
+    spec = FaultSpec.parse(text)
+    again = FaultSpec.parse(spec.serialize())
+    assert again == spec
+    assert again.crash_at == 0.33
+
+
+def test_scientific_notation_windows_round_trip():
+    spec = FaultSpec.parse("partition=0@1e-05-0.2")
+    again = FaultSpec.parse(spec.serialize())
+    assert again.partitions[0].start == 1e-05
+    assert again == spec
+
+
+def test_crash_clause_excluded_from_empty():
+    spec = FaultSpec.parse("crash@0.2")
+    assert spec.empty  # nothing for the injector to do
+    assert spec.crash_at == 0.2
+
+
+def test_at_most_one_crash_clause():
+    with pytest.raises(ValueError, match="at most one crash"):
+        FaultSpec.parse("crash@0.2,crash@0.3")
+
+
+def test_negative_crash_time_rejected():
+    with pytest.raises(ValueError):
+        FaultSpec(crash_at=-1.0)
+
+
+def test_schedule_events_and_compose_invert():
+    spec = FaultSpec.parse("loss=0.1,mds_restart@0.5:0.2,crash@0.9")
+    clauses = schedule_events(spec)
+    assert len(clauses) == 3
+    assert compose(clauses) == spec
+    # Any subset composes into a valid, weaker schedule.
+    sub = compose(clauses[:1])
+    assert sub.loss == 0.1
+    assert sub.crash_at is None
+
+
+def test_empty_spec_has_no_events():
+    assert schedule_events(FaultSpec()) == []
+    assert compose([]) == FaultSpec()
+    assert describe(FaultSpec()) == "(fault-free)"

@@ -1,0 +1,67 @@
+"""Coverage accounting against the transition-point universe."""
+
+from repro.check import COUNTER_METRICS, TransitionCoverage, transition_times
+from repro.obs import Instrumentation
+from repro.obs.tracer import TRANSITION_POINTS
+
+
+def test_universe_matches_tracer_declaration():
+    cov = TransitionCoverage()
+    assert set(cov.hits) == {name for name, _ in TRANSITION_POINTS}
+    assert cov.fraction == 0.0
+    assert cov.missed == [name for name, _ in TRANSITION_POINTS]
+
+
+def test_counter_kind_points_have_metric_mappings():
+    for name, kind in TRANSITION_POINTS:
+        if kind == "counter":
+            assert name in COUNTER_METRICS, name
+
+
+def test_observe_counts_spans_instants_and_counters():
+    obs = Instrumentation()
+    span = obs.tracer.begin("writepage", "client")
+    obs.tracer.end(span)
+    obs.tracer.instant("commit_merge", "queue")
+    obs.tracer.instant("commit_merge", "queue")
+    obs.registry.counter("mds.lease_renewals").inc(3)
+    cov = TransitionCoverage()
+    cov.observe(obs)
+    assert cov.hits["writepage"] == 1
+    assert cov.hits["commit_merge"] == 2
+    assert cov.hits["lease_renew"] == 3
+    assert cov.hits["commit_apply"] == 0
+    assert set(cov.covered) == {"writepage", "commit_merge", "lease_renew"}
+    assert 0 < cov.fraction < 1
+
+
+def test_observe_merges_across_runs():
+    cov = TransitionCoverage()
+    for _ in range(2):
+        obs = Instrumentation()
+        obs.tracer.instant("commit_apply", "mds")
+        cov.observe(obs)
+    assert cov.hits["commit_apply"] == 2
+
+
+def test_transition_times_picks_first_middle_last():
+    obs = Instrumentation()
+    for t in [0.1, 0.2, 0.3, 0.4, 0.5]:
+        event = obs.tracer.instant("commit_apply", "mds")
+        event.time = t
+    picks = transition_times(obs, samples_per_point=3)
+    times = [t for name, t in picks if name == "commit_apply"]
+    assert times == [0.1, 0.3, 0.5]
+
+
+def test_transition_times_sorted_and_deduped():
+    obs = Instrumentation()
+    span = obs.tracer.begin("writepage", "client")
+    obs.tracer.end(span)  # start == 0.0
+    event = obs.tracer.instant("commit_apply", "mds")
+    event.time = 0.0  # same timestamp; both survive (different names)
+    picks = transition_times(obs)
+    assert [t for _, t in picks] == sorted(t for _, t in picks)
+    assert len(picks) == 2
+    # Counter-kind points never produce crash candidates.
+    assert all(name != "lease_renew" for name, _ in picks)

@@ -1,0 +1,119 @@
+"""Property tests for ``rebuild_free_space``: idempotency and atomicity.
+
+The repair step must be a fixed point — rebuilding an already-rebuilt
+manager changes nothing — and a claim that cannot be satisfied must not
+corrupt the manager being rebuilt (roll back, then raise).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.consistency import fsck
+from repro.consistency.fsck import _claim, rebuild_free_space
+from repro.mds.allocation import SpaceManager
+from repro.mds.extent import EXTENT_COMMITTED, Extent
+from repro.mds.namespace import Namespace
+
+import pytest
+
+PAGE = 4096
+
+
+def _namespace_with(extents):
+    """One file per extent, laid out exactly at the given volume ranges."""
+    ns = Namespace()
+    for i, (offset, length) in enumerate(extents):
+        meta = ns.create(f"f{i}", float(i))
+        ns.commit_extents(
+            meta.file_id,
+            [
+                Extent(
+                    file_offset=0,
+                    length=length,
+                    device_id=0,
+                    volume_offset=offset,
+                    state=EXTENT_COMMITTED,
+                )
+            ],
+            float(i) + 0.5,
+        )
+    return ns
+
+
+def _free_books(space):
+    return (
+        space.free_bytes,
+        [group.free_extents() for group in space.groups],
+    )
+
+
+@st.composite
+def layouts(draw):
+    """Non-overlapping page-aligned extents + a geometry that tiles the
+    volume exactly (no unmanaged tail)."""
+    num_groups = draw(st.integers(min_value=1, max_value=4))
+    cursor = 0
+    extents = []
+    for _ in range(draw(st.integers(min_value=0, max_value=8))):
+        cursor += draw(st.integers(min_value=0, max_value=3)) * PAGE
+        length = draw(st.integers(min_value=1, max_value=5)) * PAGE
+        extents.append((cursor, length))
+        cursor += length
+    tail = draw(st.integers(min_value=1, max_value=3)) * PAGE
+    # Round up so volume_size is a multiple of num_groups and the AGs
+    # cover every byte.
+    unit = num_groups * PAGE
+    volume = ((cursor + tail + unit - 1) // unit) * unit
+    return extents, volume, num_groups
+
+
+@settings(max_examples=60, deadline=None)
+@given(layouts())
+def test_rebuild_is_idempotent(layout):
+    extents, volume, num_groups = layout
+    ns = _namespace_with(extents)
+    space = SpaceManager(volume_size=volume, num_groups=num_groups)
+    once = rebuild_free_space(ns, space)
+    twice = rebuild_free_space(ns, once)
+    assert _free_books(once) == _free_books(twice)
+
+
+@settings(max_examples=60, deadline=None)
+@given(layouts())
+def test_rebuild_result_is_fsck_clean(layout):
+    extents, volume, num_groups = layout
+    ns = _namespace_with(extents)
+    space = SpaceManager(volume_size=volume, num_groups=num_groups)
+    rebuilt = rebuild_free_space(ns, space)
+    report = fsck(ns, rebuilt)
+    assert report.clean, report.summary()
+    assert report.committed_bytes == sum(length for _, length in extents)
+    assert report.free_bytes == volume - report.committed_bytes
+
+
+def test_overlapping_committed_extents_raise():
+    # Two files claiming the same volume bytes: not repairable.
+    ns = _namespace_with([(0, 2 * PAGE), (PAGE, 2 * PAGE)])
+    space = SpaceManager(volume_size=16 * PAGE, num_groups=2)
+    with pytest.raises(ValueError, match="does not fit"):
+        rebuild_free_space(ns, space)
+
+
+def test_extent_beyond_managed_volume_raises():
+    # volume_size not divisible by num_groups leaves an unmanaged tail;
+    # a committed extent there must be rejected, not silently accepted.
+    volume = 4 * PAGE + 2
+    space = SpaceManager(volume_size=volume, num_groups=4)
+    managed_end = (volume // 4) * 4
+    ns = _namespace_with([(managed_end, 2)])
+    with pytest.raises(ValueError, match="does not fit"):
+        rebuild_free_space(ns, space)
+
+
+def test_claim_rolls_back_partial_failure():
+    space = SpaceManager(volume_size=8 * PAGE, num_groups=2)
+    # Occupy the head of group 1 so a group-spanning claim fails halfway.
+    assert _claim(space, 4 * PAGE, PAGE)
+    before = _free_books(space)
+    assert not _claim(space, 3 * PAGE, 2 * PAGE)
+    assert _free_books(space) == before

@@ -1,0 +1,135 @@
+"""Oplog replay + trace-ordering checks (repro.consistency.history)."""
+
+from repro.consistency import check_commit_ordering, check_history
+from repro.mds.extent import EXTENT_COMMITTED, Extent
+from repro.mds.namespace import Namespace
+from repro.obs.tracer import Tracer
+
+
+def _ext(fo, ln, vo):
+    return Extent(
+        file_offset=fo,
+        length=ln,
+        device_id=0,
+        volume_offset=vo,
+        state=EXTENT_COMMITTED,
+    )
+
+
+def _live_with_oplog():
+    """A namespace and the oplog that honestly describes it."""
+    ns = Namespace()
+    a = ns.create("a", 1.0)
+    ns.commit_extents(a.file_id, [_ext(0, 4096, 8192)], 2.0)
+    b = ns.create("b", 3.0)
+    ns.commit_extents(b.file_id, [_ext(0, 4096, 16384)], 4.0)
+    ns.unlink(b.file_id)
+    oplog = [
+        ("create", a.file_id, "a", 1.0),
+        ("commit", a.file_id, ((0, 4096, 8192),), 2.0),
+        ("create", b.file_id, "b", 3.0),
+        ("commit", b.file_id, ((0, 4096, 16384),), 4.0),
+        ("unlink", b.file_id, 5.0),
+    ]
+    return ns, oplog
+
+
+def test_faithful_oplog_is_consistent():
+    ns, oplog = _live_with_oplog()
+    report = check_history(oplog, ns)
+    assert report.consistent
+    assert report.ops_replayed == 5
+    assert "consistent" in report.summary()
+
+
+def test_missing_live_file_detected():
+    ns, oplog = _live_with_oplog()
+    live_file = next(iter(ns.all_files()))
+    ns.unlink(live_file.file_id)  # live state loses a journalled file
+    report = check_history(oplog, ns)
+    assert not report.consistent
+    assert any("missing from live" in v for v in report.violations)
+
+
+def test_unjournalled_live_file_detected():
+    ns, oplog = _live_with_oplog()
+    ns.create("ghost", 9.0)  # live mutation the journal never saw
+    report = check_history(oplog, ns)
+    assert not report.consistent
+    assert any("absent from journal" in v for v in report.violations)
+
+
+def test_extent_divergence_detected():
+    ns, oplog = _live_with_oplog()
+    live_file = next(iter(ns.all_files()))
+    # Re-map the live extent somewhere the journal doesn't say.
+    ns.commit_extents(live_file.file_id, [_ext(0, 4096, 65536)], 9.0)
+    report = check_history(oplog, ns)
+    assert not report.consistent
+    assert any("extent map diverged" in v for v in report.violations)
+
+
+def test_double_applied_commit_diverges():
+    """Replaying a doubled commit entry must be visible as divergence
+    when the duplicate displaced good data (rewrite semantics), and the
+    oplog itself carries both applies."""
+    ns, oplog = _live_with_oplog()
+    # The journal saw the commit twice (a double apply) but the live
+    # namespace holds one mapping at a *different* offset than the
+    # replayed final state.
+    doubled = oplog + [("commit", 1, ((0, 4096, 32768),), 6.0)]
+    report = check_history(doubled, ns)
+    assert not report.consistent
+
+
+def test_commit_before_create_flagged():
+    report = check_history(
+        [("commit", 7, ((0, 4096, 0),), 1.0)], Namespace()
+    )
+    assert any("precedes its create" in v for v in report.violations)
+
+
+def test_id_skew_flagged():
+    ns = Namespace()
+    meta = ns.create("a", 1.0)
+    report = check_history([("create", 99, "a", 1.0)], ns)
+    assert meta.file_id != 99
+    assert any("id skew" in v for v in report.violations)
+
+
+# -- trace-level ordering --------------------------------------------------
+
+
+def test_ordering_clean_when_writepage_precedes_commit():
+    tracer = Tracer()
+    wp = tracer.begin("writepage", "client", update_ids=(1,))
+    wp.end = 0.5
+    commit = tracer.begin("rpc:commit", "net", update_ids=(1,))
+    commit.start = 1.0
+    assert check_commit_ordering(tracer) == []
+
+
+def test_ordering_violation_when_commit_sent_first():
+    tracer = Tracer()
+    wp = tracer.begin("writepage", "client", update_ids=(1,))
+    wp.start, wp.end = 0.0, 2.0
+    commit = tracer.begin("rpc:commit", "net", update_ids=(1,))
+    commit.start = 1.0  # sent before the data landed
+    violations = check_commit_ordering(tracer)
+    assert violations and "before writepage completed" in violations[0]
+
+
+def test_ordering_violation_when_writepage_never_finishes():
+    tracer = Tracer()
+    tracer.begin("writepage", "client", update_ids=(3,))  # never ended
+    commit = tracer.begin("rpc:commit", "net", update_ids=(3,))
+    commit.start = 1.0
+    violations = check_commit_ordering(tracer)
+    assert violations and "never" in violations[0]
+
+
+def test_uncommitted_updates_are_not_checked():
+    tracer = Tracer()
+    tracer.begin("writepage", "client", update_ids=(9,))  # unfinished
+    # No commit RPC for update 9: losing the write is allowed (orphan).
+    assert check_commit_ordering(tracer) == []

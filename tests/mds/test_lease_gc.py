@@ -165,3 +165,48 @@ def test_genuinely_dead_client_expires_again_after_grace():
     env.run(until=5.0)  # grace over, still silent -> reclaimed
     assert gc.bytes_reclaimed_total == 4096
     assert space.uncommitted_bytes(1) == 0
+
+
+def test_readmit_fires_once_on_next_renewal_after_reclaim():
+    env = Environment()
+    gc, space = make_gc(env)
+    reclaims, readmits = [], []
+    gc.on_reclaim = reclaims.append
+    gc.on_readmit = readmits.append
+    space.alloc(4096, client_id=1)
+    gc.renew(1)
+    env.run(until=2.0)  # silence > lease: reclaimed and fenced
+    assert reclaims == [1]
+    assert readmits == []  # not heard from yet
+    gc.renew(1)  # first RPC after the fence re-establishes state
+    assert readmits == [1]
+    gc.renew(1)  # subsequent traffic does not re-fire
+    assert readmits == [1]
+
+
+def test_readmit_never_fires_without_a_reclaim():
+    env = Environment()
+    gc, space = make_gc(env)
+    readmits = []
+    gc.on_reclaim = lambda c: None
+    gc.on_readmit = readmits.append
+    space.alloc(4096, client_id=1)
+    for _ in range(5):
+        gc.renew(1)
+    assert readmits == []
+
+
+def test_refenced_client_readmitted_again():
+    env = Environment()
+    gc, space = make_gc(env)
+    readmits = []
+    gc.on_reclaim = lambda c: None
+    gc.on_readmit = readmits.append
+    space.alloc(4096, client_id=1)
+    gc.renew(1)
+    env.run(until=2.0)
+    gc.renew(1)  # readmit #1
+    space.alloc(4096, client_id=1)
+    env.run(until=4.0)  # silent again -> second reclaim
+    gc.renew(1)  # readmit #2
+    assert readmits == [1, 1]
