@@ -89,7 +89,11 @@ def _cells(
     clients: _t.List[int],
     duration: float = 1.0,
     warmup: float = 0.2,
+    shards: int = 1,
 ) -> _t.List[_t.Dict[str, _t.Any]]:
+    # ``shards`` is part of every cell so the cache key hashes it:
+    # sharded and unsharded runs of the same (system, workload, seed)
+    # can never collide in the result cache or BENCH_sim.json.
     return [
         {
             "system": system,
@@ -97,6 +101,7 @@ def _cells(
             "clients": n,
             "duration": duration,
             "warmup": warmup,
+            "shards": shards,
         }
         for system in systems
         for workload in workloads
@@ -220,7 +225,10 @@ def run_cell(cell: _t.Dict[str, _t.Any]) -> _t.Dict[str, _t.Any]:
     workload = getattr(workloads, cls_name)(**kwargs)
     t0 = time.perf_counter()
     cluster = build_cluster(
-        cell["system"], num_clients=cell["clients"], seed=cell["seed"]
+        cell["system"],
+        num_clients=cell["clients"],
+        seed=cell["seed"],
+        shards=cell.get("shards", 1),
     )
     result = cluster.run_workload(
         workload, duration=cell["duration"], warmup=cell["warmup"]
@@ -244,9 +252,14 @@ def run_cell(cell: _t.Dict[str, _t.Any]) -> _t.Dict[str, _t.Any]:
 
 
 def sweep_cells(
-    figure: str, seeds: int, base_seed: int = 11
+    figure: str, seeds: int, base_seed: int = 11, shards: int = 1
 ) -> _t.List[_t.Dict[str, _t.Any]]:
-    """Expand a figure's base cells along the seed axis."""
+    """Expand a figure's base cells along the seed axis.
+
+    ``shards`` > 1 re-targets every redbud cell at a sharded metadata
+    service (an extra sweep axis); pvfs2/nfs3 cells have no MDS to
+    shard and keep ``shards=1``.
+    """
     if figure not in FIGURE_SWEEPS:
         raise KeyError(
             f"unknown figure {figure!r}; choose from "
@@ -254,17 +267,22 @@ def sweep_cells(
         )
     if seeds <= 0:
         raise ValueError(f"seeds must be positive, got {seeds}")
-    return [
-        dict(cell, seed=base_seed + i)
-        for cell in FIGURE_SWEEPS[figure]
-        for i in range(seeds)
-    ]
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    cells = []
+    for cell in FIGURE_SWEEPS[figure]:
+        if shards > 1 and cell["system"].startswith("redbud"):
+            cell = dict(cell, shards=shards)
+        for i in range(seeds):
+            cells.append(dict(cell, seed=base_seed + i))
+    return cells
 
 
 def run_sweep(
     figure: str,
     seeds: int = 4,
     base_seed: int = 11,
+    shards: int = 1,
     jobs: _t.Optional[int] = None,
     cache: _t.Optional[ResultCache] = None,
     use_cache: bool = True,
@@ -277,7 +295,7 @@ def run_sweep(
     say = progress or (lambda _msg: None)
     cache = cache or ResultCache()
     fingerprint = code_fingerprint()
-    cells = sweep_cells(figure, seeds, base_seed)
+    cells = sweep_cells(figure, seeds, base_seed, shards)
 
     keyed = [(cell_key(fingerprint, cell), cell) for cell in cells]
     results: _t.Dict[str, _t.Dict[str, _t.Any]] = {}
@@ -334,6 +352,7 @@ def run_sweep(
         "figure": figure,
         "seeds": seeds,
         "base_seed": base_seed,
+        "shards": shards,
         "code": fingerprint,
         "generated_at": time.strftime(
             "%Y-%m-%dT%H:%M:%S", time.gmtime()
@@ -391,6 +410,13 @@ def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
         help="first seed of the seed axis (default %(default)s)",
     )
     parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="metadata shards for redbud cells (extra sweep axis; "
+        "default %(default)s, keyed into the result cache)",
+    )
+    parser.add_argument(
         "--jobs",
         type=int,
         default=None,
@@ -418,6 +444,7 @@ def run_from_args(args: argparse.Namespace) -> int:
         figure=args.figure,
         seeds=args.seeds,
         base_seed=args.base_seed,
+        shards=args.shards,
         jobs=args.jobs,
         cache=ResultCache(args.cache_dir),
         use_cache=not args.no_cache,

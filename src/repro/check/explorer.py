@@ -79,9 +79,11 @@ class Counterexample:
     shrink_probes: int
     seed: int = 0
     clients: int = 3
+    shards: int = 1
     trace: _t.List[str] = field(default_factory=list)
 
     def as_dict(self) -> _t.Dict[str, _t.Any]:
+        shards_arg = f" --shards {self.shards}" if self.shards > 1 else ""
         return {
             "schedule": self.schedule,
             "minimal": self.minimal,
@@ -92,7 +94,7 @@ class Counterexample:
             "shrink_probes": self.shrink_probes,
             "replay": (
                 f"python -m repro run --faults '{self.minimal}' --check "
-                f"--seed {self.seed} --clients {self.clients}"
+                f"--seed {self.seed} --clients {self.clients}{shards_arg}"
             ),
             "trace": list(self.trace),
         }
@@ -106,6 +108,7 @@ class CheckReport:
     budget: int
     mode: str
     clients: int
+    shards: int = 1
     schedules: _t.List[_t.Dict[str, _t.Any]] = field(default_factory=list)
     counterexamples: _t.List[Counterexample] = field(default_factory=list)
     coverage: _t.Dict[str, _t.Any] = field(default_factory=dict)
@@ -125,6 +128,7 @@ class CheckReport:
             "budget": self.budget,
             "mode": self.mode,
             "clients": self.clients,
+            "shards": self.shards,
             "schedules_run": len(self.schedules),
             "failures": self.failures,
             "ok": self.ok,
@@ -151,6 +155,7 @@ def run_schedule(
     seed: int,
     clients: int = 3,
     mode: str = "delayed",
+    shards: int = 1,
     run_span: float = RUN_SPAN,
     tweak: _t.Optional[_t.Callable[[RedbudCluster], None]] = None,
 ) -> RunOutcome:
@@ -167,6 +172,7 @@ def run_schedule(
         mds=MdsParameters(
             lease_duration=LEASE_DURATION,
             gc_scan_interval=GC_SCAN_INTERVAL,
+            shards=shards,
         ),
         retry=None if spec.empty else RetryPolicy(),
     )
@@ -239,11 +245,28 @@ def run_schedule(
     )
 
 
-def _nemesis_spec(rng: StreamRNG, clients: int) -> FaultSpec:
-    """Draw one random fault combination as canonical clause atoms."""
+def _nemesis_spec(
+    rng: StreamRNG, clients: int, shards: int = 1
+) -> FaultSpec:
+    """Draw one random fault combination as canonical clause atoms.
+
+    At ``shards == 1`` the draw sequence is frozen (CI asserts reports
+    are byte-identical across runs *and* releases); sharded clauses --
+    single-shard restarts, shard partitions -- both gate on
+    ``shards > 1`` and only add draws inside that gate.
+    """
     clauses: _t.List[str] = []
-    family = rng.integers(0, 8)
+    num_families = 9 if shards > 1 else 8
+    family = rng.integers(0, num_families)
     t0 = round(rng.uniform(0.05, 0.30), 4)
+
+    def restart_clause(at: float, down: float) -> str:
+        """mds_restart, aimed at one shard half the time when sharded."""
+        if shards > 1 and rng.random() < 0.5:
+            sid = rng.integers(0, shards)
+            return f"mds_restart@{at!r}:{down!r}:shard={sid}"
+        return f"mds_restart@{at!r}:{down!r}"
+
     if family == 0:
         clauses.append(f"loss={round(rng.uniform(0.02, 0.25), 3)!r}")
     elif family == 1:
@@ -257,7 +280,7 @@ def _nemesis_spec(rng: StreamRNG, clients: int) -> FaultSpec:
         clauses.append(f"partition={cid}@{t0!r}-{t1!r}")
     elif family == 3:
         down = round(rng.uniform(0.05, 0.20), 4)
-        clauses.append(f"mds_restart@{t0!r}:{down!r}")
+        clauses.append(restart_clause(t0, down))
     elif family == 4:
         cid = rng.integers(0, clients)
         clauses.append(f"client_death={cid}@{t0!r}")
@@ -266,17 +289,23 @@ def _nemesis_spec(rng: StreamRNG, clients: int) -> FaultSpec:
         # restart pattern that stresses exactly-once commit handling.
         clauses.append(f"loss={round(rng.uniform(0.05, 0.3), 3)!r}")
         down = round(rng.uniform(0.05, 0.20), 4)
-        clauses.append(f"mds_restart@{t0!r}:{down!r}")
+        clauses.append(restart_clause(t0, down))
     elif family == 6:
         cid = rng.integers(0, clients)
         t1 = round(t0 + rng.uniform(0.13, 0.25), 4)
         clauses.append(f"partition={cid}@{t0!r}-{t1!r}")
         down = round(rng.uniform(0.05, 0.15), 4)
-        clauses.append(f"mds_restart@{round(t0 + 0.05, 4)!r}:{down!r}")
-    else:
+        clauses.append(restart_clause(round(t0 + 0.05, 4), down))
+    elif family == 7:
         clauses.append(f"loss={round(rng.uniform(0.02, 0.15), 3)!r}")
         cid = rng.integers(0, clients)
         clauses.append(f"client_death={cid}@{t0!r}")
+    else:
+        # Sharded deployments only: cut one metadata shard off from
+        # every client while the others keep serving.
+        sid = rng.integers(0, shards)
+        t1 = round(t0 + rng.uniform(0.08, 0.22), 4)
+        clauses.append(f"shard_partition={sid}@{t0!r}-{t1!r}")
     if rng.random() < 0.35:
         clauses.append(f"crash@{round(rng.uniform(0.10, 0.50), 4)!r}")
     return compose(clauses)
@@ -326,6 +355,7 @@ def explore(
     *,
     clients: int = 3,
     mode: str = "delayed",
+    shards: int = 1,
     tweak: _t.Optional[_t.Callable[[RedbudCluster], None]] = None,
     max_counterexamples: int = 3,
     shrink_probe_budget: int = 24,
@@ -341,7 +371,8 @@ def explore(
     if budget < 1:
         raise ValueError("budget must be >= 1")
     report = CheckReport(
-        seed=seed, budget=budget, mode=mode, clients=clients
+        seed=seed, budget=budget, mode=mode, clients=clients,
+        shards=shards,
     )
     coverage = TransitionCoverage()
     say = log if log is not None else (lambda _msg: None)
@@ -363,7 +394,8 @@ def explore(
 
     def runner(spec: FaultSpec) -> RunOutcome:
         return run_schedule(
-            spec, seed=seed, clients=clients, mode=mode, tweak=tweak
+            spec, seed=seed, clients=clients, mode=mode, shards=shards,
+            tweak=tweak,
         )
 
     # 1. Probe: fault-free baseline + transition timestamps.
@@ -394,7 +426,7 @@ def explore(
     # 3. Nemesis schedules fill the rest of the budget.
     nemesis_root = StreamRNG(seed).stream("check", "nemesis")
     for i in range(max(0, remaining)):
-        spec = _nemesis_spec(nemesis_root.stream(i), clients)
+        spec = _nemesis_spec(nemesis_root.stream(i), clients, shards)
         outcome = runner(spec)
         record("nemesis", spec, outcome)
         if not outcome.verdict.ok:
@@ -429,6 +461,7 @@ def explore(
                 shrink_probes=probes,
                 seed=seed,
                 clients=clients,
+                shards=shards,
                 trace=_trace_excerpt(replay),
             )
         )

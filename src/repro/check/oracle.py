@@ -18,6 +18,13 @@ oracle judges the surviving state against the full invariant suite:
 5. **Trace ordering**: for every committed update, its writepages
    finished before the commit RPC left the client
    (:func:`repro.consistency.history.check_commit_ordering`).
+6. **Cross-shard disjointness** (sharded deployments): every shard's
+   volume slice, committed extents, and namespace partition stay inside
+   its own slice and no volume byte is claimed by two shards
+   (:func:`repro.mds.sharding.check_shard_disjointness`).
+
+Checks 1-5 run per metadata shard; with one shard the verdict is
+exactly the single-MDS oracle's.
 """
 
 from __future__ import annotations
@@ -30,6 +37,7 @@ from repro.consistency.fsck import fsck
 from repro.consistency.history import check_commit_ordering, check_history
 from repro.consistency.invariant import check_ordered_writes
 from repro.consistency.recovery import recover
+from repro.mds.sharding import check_shard_disjointness
 
 if _t.TYPE_CHECKING:  # pragma: no cover
     from repro.fs.redbud import RedbudCluster
@@ -67,29 +75,36 @@ class Verdict:
 
 
 def _common_checks(cluster: "RedbudCluster", verdict: Verdict) -> None:
-    """Checks shared by the crash and live paths."""
-    mds = cluster.mds
-    worst = max(mds.commit_apply_counts.values(), default=0)
-    if worst > 1:
-        doubled = sorted(
-            key
-            for key, count in mds.commit_apply_counts.items()
-            if count > 1
-        )
-        for client_id, op_id in doubled:
-            verdict.add(
-                "double-apply",
-                f"commit (client={client_id}, op={op_id}) applied "
-                f"{mds.commit_apply_counts[(client_id, op_id)]} times",
+    """Checks shared by the crash and live paths (run per shard)."""
+    sharded = cluster.metadata.num_shards > 1
+    worst = 0
+    for shard, mds in enumerate(cluster.metadata):
+        tag = f" [shard {shard}]" if sharded else ""
+        shard_worst = max(mds.commit_apply_counts.values(), default=0)
+        worst = max(worst, shard_worst)
+        if shard_worst > 1:
+            doubled = sorted(
+                key
+                for key, count in mds.commit_apply_counts.items()
+                if count > 1
             )
+            for client_id, op_id in doubled:
+                verdict.add(
+                    "double-apply",
+                    f"commit (client={client_id}, op={op_id}) applied "
+                    f"{mds.commit_apply_counts[(client_id, op_id)]} "
+                    f"times{tag}",
+                )
     verdict.summaries.append(
         f"exactly-once: max applies per commit = {worst}"
     )
 
-    history = check_history(mds.oplog, cluster.namespace)
-    for detail in history.violations:
-        verdict.add("history-divergence", detail)
-    verdict.summaries.append(history.summary())
+    for shard, mds in enumerate(cluster.metadata):
+        tag = f" [shard {shard}]" if sharded else ""
+        history = check_history(mds.oplog, mds.namespace)
+        for detail in history.violations:
+            verdict.add("history-divergence", detail + tag)
+        verdict.summaries.append(history.summary() + tag)
 
     if cluster.obs is not None:
         for detail in check_commit_ordering(cluster.obs.tracer):
@@ -112,11 +127,15 @@ def judge_crash(
         f"recovery reclaimed {report.orphan_bytes_reclaimed} orphan bytes"
     )
 
-    fsck_report = fsck(state.namespace, state.space)
-    if not fsck_report.clean:
-        verdict.add("fsck", fsck_report.summary())
-    verdict.summaries.append(fsck_report.summary())
+    sharded = len(state.shards) > 1
+    for shard, (namespace, space) in enumerate(state.shards):
+        tag = f" [shard {shard}]" if sharded else ""
+        fsck_report = fsck(namespace, space)
+        if not fsck_report.clean:
+            verdict.add("fsck", fsck_report.summary() + tag)
+        verdict.summaries.append(fsck_report.summary() + tag)
 
+    _shard_disjointness(cluster, state.shards, verdict)
     _common_checks(cluster, verdict)
     return verdict
 
@@ -124,20 +143,46 @@ def judge_crash(
 def judge_live(cluster: "RedbudCluster") -> Verdict:
     """Judge a quiescent (settled, un-crashed) cluster."""
     verdict = Verdict()
-    report = check_ordered_writes(
-        cluster.namespace, cluster.array.stable, cluster.space
+    shards = tuple(
+        (server.namespace, server.space) for server in cluster.metadata
     )
-    for violation in report.violations:
-        verdict.add(violation.kind, violation.detail)
-    verdict.summaries.append("live " + report.summary())
+    sharded = len(shards) > 1
+    for shard, (namespace, space) in enumerate(shards):
+        tag = f" [shard {shard}]" if sharded else ""
+        report = check_ordered_writes(
+            namespace, cluster.array.stable, space
+        )
+        for violation in report.violations:
+            verdict.add(violation.kind, violation.detail + tag)
+        verdict.summaries.append("live " + report.summary() + tag)
 
-    fsck_report = fsck(cluster.namespace, cluster.space)
-    if fsck_report.lost_claimed:
-        # A live cluster legitimately has uncommitted (delegated) space,
-        # but free space overlapping committed extents is corruption in
-        # any state.
-        verdict.add("fsck", fsck_report.summary())
-    verdict.summaries.append(fsck_report.summary())
+        fsck_report = fsck(namespace, space)
+        if fsck_report.lost_claimed:
+            # A live cluster legitimately has uncommitted (delegated)
+            # space, but free space overlapping committed extents is
+            # corruption in any state.
+            verdict.add("fsck", fsck_report.summary() + tag)
+        verdict.summaries.append(fsck_report.summary() + tag)
 
+    _shard_disjointness(cluster, shards, verdict)
     _common_checks(cluster, verdict)
     return verdict
+
+
+def _shard_disjointness(
+    cluster: "RedbudCluster",
+    shards: _t.Sequence[_t.Any],
+    verdict: Verdict,
+) -> None:
+    """Cross-shard invariant: shards never claim each other's bytes."""
+    if len(shards) <= 1:
+        return  # Vacuous for a single MDS; keep its verdict unchanged.
+    problems = check_shard_disjointness(
+        shards, cluster.config.disk.volume_size
+    )
+    for detail in problems:
+        verdict.add("shard-disjointness", detail)
+    verdict.summaries.append(
+        f"shard-disjointness: {len(shards)} shards, "
+        f"{len(problems)} violations"
+    )

@@ -201,12 +201,13 @@ def cmd_run(args: argparse.Namespace) -> int:
             from repro.check import run_schedule
 
             outcome = run_schedule(
-                spec, seed=args.seed, clients=args.clients
+                spec, seed=args.seed, clients=args.clients,
+                shards=args.shards,
             )
             print(
                 f"crash schedule {spec.serialize()!r} replayed on the "
                 f"check harness (seed={args.seed}, "
-                f"clients={args.clients})"
+                f"clients={args.clients}, shards={args.shards})"
             )
             for line in outcome.verdict.summaries:
                 print(f"check: {line}")
@@ -229,6 +230,14 @@ def cmd_run(args: argparse.Namespace) -> int:
             from repro.net.rpc import RetryPolicy
 
             config_kw["retry"] = RetryPolicy()
+    if args.shards > 1:
+        if not args.system.startswith("redbud"):
+            print(
+                "error: --shards supports the redbud systems only",
+                file=sys.stderr,
+            )
+            return 2
+        config_kw["shards"] = args.shards
     cluster = build_cluster(
         args.system, num_clients=args.clients, seed=args.seed, obs=obs,
         **config_kw,
@@ -267,6 +276,12 @@ def cmd_run(args: argparse.Namespace) -> int:
         )
     if args.json:
         payload = _result_dict(result)
+        if "mds_per_shard" in result.extras:
+            # Per-shard breakdown is a list of dicts, which the scalar
+            # filter drops; it is JSON-friendly, so carry it through.
+            payload["extras"]["mds_per_shard"] = result.extras[
+                "mds_per_shard"
+            ]
         if injector is not None:
             payload["faults"] = injector.summary()
         if check_verdict is not None:
@@ -293,6 +308,21 @@ def cmd_run(args: argparse.Namespace) -> int:
             f"  {op:>12}: n={stats.count:<7} mean={fmt_time(stats.mean)} "
             f"p95={fmt_time(stats.p95)}"
         )
+    per_shard = result.extras.get("mds_per_shard")
+    if per_shard:
+        shard_table = Table(
+            ["shard", "mds_requests", "mds_ops", "files", "free_bytes"],
+            title="metadata shards",
+        )
+        for row in per_shard:
+            shard_table.add_row(
+                row["shard"],
+                row["mds_requests"],
+                row["mds_ops"],
+                row["files"],
+                row["free_bytes"],
+            )
+        shard_table.print()
     if injector is not None:
         fault_table = Table(["fault metric", "value"], title="fault summary")
         for key, value in injector.summary().items():
@@ -526,17 +556,18 @@ def cmd_check(args: argparse.Namespace) -> int:
 
     tweak = None
     if args.seed_bug == "dedup":
-        # Self-test: disable the MDS's durable commit dedup table.  The
-        # checker must find the resulting double-apply and shrink it to
-        # a minimal replayable schedule.
+        # Self-test: disable the MDS's durable commit dedup table (on
+        # every shard).  The checker must find the resulting
+        # double-apply and shrink it to a minimal replayable schedule.
         def tweak(cluster: _t.Any) -> None:
-            cluster.mds.commit_dedup_enabled = False
+            cluster.metadata.set_commit_dedup_enabled(False)
 
     report = explore(
         budget=args.budget,
         seed=args.seed,
         clients=args.clients,
         mode=args.mode,
+        shards=args.shards,
         tweak=tweak,
         max_counterexamples=args.max_counterexamples,
         log=lambda msg: print(msg, file=sys.stderr),
@@ -609,12 +640,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="also record a causal trace (Chrome trace_event JSON)",
     )
     p_run.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="metadata shards (redbud systems only; default "
+        "%(default)s, which is byte-identical to the single MDS)",
+    )
+    p_run.add_argument(
         "--faults",
         metavar="SPEC",
         default=None,
         help="inject faults (redbud systems only); comma-separated "
         "clauses: loss=P, delay=P:MAX, partition=CID@T0-T1, "
-        "mds_restart@T:D, client_death=CID@T, crash@T -- e.g. "
+        "mds_restart@T:D[:shard=K], client_death=CID@T, "
+        "shard_partition=K@T0-T1, crash@T -- e.g. "
         "'loss=0.05,mds_restart@0.5:0.2,client_death=2@0.8'",
     )
     p_run.add_argument(
@@ -709,6 +748,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_check.add_argument("--seed", type=int, default=0)
     p_check.add_argument("--clients", type=int, default=3)
+    p_check.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="metadata shards for every explored cluster (default "
+        "%(default)s); >1 adds shard-aware nemesis clauses and the "
+        "cross-shard disjointness oracle",
+    )
     p_check.add_argument(
         "--mode",
         choices=("synchronous", "delayed", "unordered"),

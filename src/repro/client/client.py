@@ -84,6 +84,11 @@ class RedbudClient(FileSystemAPI):
         obs: _t.Optional[_t.Any] = None,
         degrade_after_timeouts: int = 3,
         degrade_backlog: _t.Optional[int] = None,
+        delegation_pools: _t.Optional[
+            _t.Dict[int, DoubleSpacePool]
+        ] = None,
+        shard_of_file: _t.Optional[_t.Callable[[int], int]] = None,
+        num_shards: int = 1,
     ) -> None:
         self.env = env
         self.client_id = client_id
@@ -91,7 +96,19 @@ class RedbudClient(FileSystemAPI):
         self.blockdev = blockdev
         self.cache = cache if cache is not None else PageCache()
         self.commit_mode = commit_mode
-        self.delegation = delegation
+        #: Delegated space is per metadata shard: each shard hands out
+        #: chunks from its own allocation groups, so the client pools
+        #: them separately.  ``delegation`` (the single-MDS surface)
+        #: stays the shard-0 pool.
+        self.num_shards = num_shards
+        self._shard_of_file = shard_of_file
+        if delegation_pools is not None:
+            self._pools = dict(delegation_pools)
+        elif delegation is not None:
+            self._pools = {0: delegation}
+        else:
+            self._pools = {}
+        self.delegation = self._pools.get(0)
         self.device_id = device_id
         #: Observability bundle (``repro.obs.Instrumentation``) or None.
         self.obs = obs
@@ -109,6 +126,7 @@ class RedbudClient(FileSystemAPI):
                 capacity=commit_queue_capacity,
                 obs=obs,
                 node=self._node,
+                shard_of=(shard_of_file if num_shards > 1 else None),
             )
             self.compound = CompoundController(
                 env,
@@ -161,7 +179,8 @@ class RedbudClient(FileSystemAPI):
 
         #: All not-yet-committed records per file (fsync waits on these).
         self._pending_records: _t.Dict[int, _t.Set[CommitRecord]] = {}
-        self._refill_event: _t.Optional[Event] = None
+        #: In-flight delegation RPC per shard (at most one each).
+        self._refill_events: _t.Dict[int, Event] = {}
         #: Writeback throttling (the kernel's dirty-pages limit): when the
         #: page cache holds this many un-persisted bytes, new writes block
         #: until the disk drains some -- this is what keeps delayed commit
@@ -383,24 +402,27 @@ class RedbudClient(FileSystemAPI):
     # Space acquisition
     # ------------------------------------------------------------------
 
+    def _shard_for(self, file_id: int) -> int:
+        if self._shard_of_file is None or self.num_shards == 1:
+            return 0
+        return self._shard_of_file(file_id)
+
     def _acquire_space(
         self, file_id: int, offset: int, length: int, scattered: bool = False
     ) -> _t.Generator:
         """Return the new extents backing ``[offset, offset+length)``."""
-        if (
-            not scattered
-            and self.delegation is not None
-            and self.delegation.can_serve(length)
-        ):
+        shard = self._shard_for(file_id)
+        pool = self._pools.get(shard)
+        if not scattered and pool is not None and pool.can_serve(length):
             self.space_local_allocs += 1
-            volume_offset = yield from self._delegated_alloc(length)
+            volume_offset = yield from self._delegated_alloc(shard, length)
             extent = Extent(
                 file_offset=offset,
                 length=length,
                 device_id=self.device_id,
                 volume_offset=volume_offset,
             )
-            self._maybe_background_refill()
+            self._maybe_background_refill(shard)
             return [extent]
 
         self.space_rpc_allocs += 1
@@ -413,51 +435,57 @@ class RedbudClient(FileSystemAPI):
                 allocate=True,
                 scattered=scattered,
                 delegation_hint=(
-                    self.delegation is not None
-                    and self.delegation.needs_refill
-                    and self._refill_event is None
+                    pool is not None
+                    and pool.needs_refill
+                    and shard not in self._refill_events
                 ),
             ),
         )
-        if reply.chunk is not None and self.delegation is not None:
-            self.delegation.refill(reply.chunk)
+        if reply.chunk is not None and pool is not None:
+            pool.refill(reply.chunk)
         return [e for e in reply.extents if e.state == "new"] or reply.extents
 
-    def _delegated_alloc(self, length: int) -> _t.Generator:
+    def _delegated_alloc(self, shard: int, length: int) -> _t.Generator:
         """Allocate locally, fetching a fresh chunk if the pool ran dry."""
+        pool = self._pools[shard]
         while True:
-            volume_offset = self.delegation.alloc(length)
+            volume_offset = pool.alloc(length)
             if volume_offset is not None:
                 return volume_offset
-            yield self._start_refill()
+            yield self._start_refill(shard)
 
-    def _start_refill(self) -> Event:
-        """Kick off (or join) an in-flight delegation RPC."""
-        if self._refill_event is not None:
-            return self._refill_event
+    def _start_refill(self, shard: int = 0) -> Event:
+        """Kick off (or join) an in-flight delegation RPC for a shard."""
+        pending = self._refill_events.get(shard)
+        if pending is not None:
+            return pending
         done = Event(self.env)
-        self._refill_event = done
+        self._refill_events[shard] = done
+        pool = self._pools[shard]
 
         def refill_proc() -> _t.Generator:
             chunk = yield self.rpc.call(
                 "delegate",
-                DelegationPayload(chunk_size=self.delegation.chunk_size),
+                DelegationPayload(
+                    chunk_size=pool.chunk_size, shard=shard
+                ),
             )
-            self.delegation.refill(chunk)
-            self._refill_event = None
+            pool.refill(chunk)
+            del self._refill_events[shard]
             done.succeed()
 
         self.env.process(refill_proc(), name=f"refill-{self.client_id}")
         return done
 
-    def _maybe_background_refill(self) -> None:
+    def _maybe_background_refill(self, shard: int = 0) -> None:
         """Proactively refresh the standby chunk without blocking."""
+        pool = self._pools.get(shard)
         if (
-            self.delegation is not None
-            and self.delegation.needs_refill
-            and self._refill_event is None
+            pool is not None
+            and pool.needs_refill
+            and shard not in self._refill_events
         ):
-            self._start_refill()
+            self._start_refill(shard)
 
     # ------------------------------------------------------------------
     # Commit bookkeeping
@@ -533,13 +561,14 @@ class RedbudClient(FileSystemAPI):
         """Graceful stop: flush commits, return unused delegated space."""
         for file_id in list(self._pending_records):
             yield from self.fsync(file_id)
-        if self.delegation is not None:
-            leftovers = self.delegation.drain()
+        for shard in sorted(self._pools):
+            leftovers = self._pools[shard].drain()
             if leftovers:
                 from repro.net.messages import ReleasePayload
 
                 yield self.rpc.call(
-                    "release", ReleasePayload(chunks=leftovers)
+                    "release",
+                    ReleasePayload(chunks=leftovers, shard=shard),
                 )
         if self.thread_pool is not None:
             self.thread_pool.stop()

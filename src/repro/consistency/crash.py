@@ -27,7 +27,13 @@ from repro.util.intervals import IntervalSet
 
 @dataclass
 class CrashState:
-    """What survives a power loss."""
+    """What survives a power loss.
+
+    ``namespace``/``space`` are shard 0's durable state (the whole
+    cluster's when unsharded); ``shards`` carries every shard's
+    ``(namespace, space)`` pair so recovery and the oracle can scan a
+    sharded deployment shard by shard.
+    """
 
     crash_time: float
     namespace: Namespace
@@ -39,6 +45,12 @@ class CrashState:
     #: queued in a client elevator *or* dispatched to a spindle and
     #: mid-service (lost data writes either way).
     lost_block_requests: int
+    #: Per-shard durable state; always at least ``((namespace, space),)``.
+    shards: _t.Tuple[_t.Tuple[Namespace, SpaceManager], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.shards:
+            self.shards = ((self.namespace, self.space),)
 
 
 def crash_cluster(
@@ -75,4 +87,11 @@ def crash_cluster(
         stable=cluster.array.stable,
         lost_commit_records=lost_records,
         lost_block_requests=lost_requests,
+        shards=tuple(
+            (server.namespace, server.space) for server in metadata
+        )
+        # Hand-assembled test clusters have no metadata service; the
+        # CrashState default covers them with the single (ns, space).
+        if (metadata := getattr(cluster, "metadata", None)) is not None
+        else (),
     )

@@ -98,6 +98,7 @@ def rebuild_free_space(
         strategy=space.strategy,
         device_id=space.device_id,
         cursor_align=space.groups[0].cursor_align if space.groups else 0,
+        base_offset=space.base_offset,
     )
     for offset, length in namespace.all_committed_ranges():
         if not _claim(rebuilt, offset, length):

@@ -86,7 +86,12 @@ def check_history(
     ids -- a mismatch means the journal itself is torn.
     """
     report = HistoryReport()
-    shadow = Namespace()
+    # A shard's namespace strides its ids (shard k of N issues k+1,
+    # k+1+N, ...); the shadow must stride identically or every replayed
+    # create reports a spurious id skew.
+    shadow = Namespace(
+        first_id=namespace.first_id, id_step=namespace.id_step
+    )
     for entry in oplog:
         kind = entry[0]
         if kind == "create":

@@ -37,25 +37,51 @@ class RecoveryReport:
 
 
 def recover(state: CrashState) -> RecoveryReport:
-    """Scan, GC orphans, re-verify."""
-    pre = check_ordered_writes(state.namespace, state.stable, state.space)
-    reclaimed = state.space.reclaim_uncommitted()
-    post = check_ordered_writes(state.namespace, state.stable, state.space)
-    # After GC the allocator must balance: free space + committed extents
-    # account for the whole volume.
-    committed = sum(
-        length for _, length in state.namespace.all_committed_ranges()
-    )
-    expected_free = state.space.volume_size - committed
-    if state.space.free_bytes != expected_free:
-        post.violations.append(
-            _accounting_violation(state.space.free_bytes, expected_free)
+    """Scan, GC orphans, re-verify -- shard by shard.
+
+    Each metadata shard owns a disjoint namespace partition and a
+    disjoint volume slice, so recovery of one shard never touches
+    another's state; the per-shard reports are merged into one.  With a
+    single shard this is exactly the unsharded recovery pass.
+    """
+    pres: _t.List[ConsistencyReport] = []
+    posts: _t.List[ConsistencyReport] = []
+    reclaimed = 0
+    for namespace, space in state.shards:
+        pres.append(check_ordered_writes(namespace, state.stable, space))
+        reclaimed += space.reclaim_uncommitted()
+        post = check_ordered_writes(namespace, state.stable, space)
+        # After GC the shard's allocator must balance: free space +
+        # committed extents account for its whole volume slice.
+        committed = sum(
+            length for _, length in namespace.all_committed_ranges()
         )
+        expected_free = space.volume_size - committed
+        if space.free_bytes != expected_free:
+            post.violations.append(
+                _accounting_violation(space.free_bytes, expected_free)
+            )
+        posts.append(post)
     return RecoveryReport(
-        pre_check=pre,
+        pre_check=_merge_reports(pres),
         orphan_bytes_reclaimed=reclaimed,
-        post_check=post,
+        post_check=_merge_reports(posts),
     )
+
+
+def _merge_reports(
+    reports: _t.List[ConsistencyReport],
+) -> ConsistencyReport:
+    if len(reports) == 1:
+        return reports[0]
+    merged = ConsistencyReport()
+    for report in reports:
+        merged.violations.extend(report.violations)
+        merged.files_checked += report.files_checked
+        merged.extents_checked += report.extents_checked
+        merged.committed_bytes += report.committed_bytes
+        merged.orphan_bytes += report.orphan_bytes
+    return merged
 
 
 def _accounting_violation(free_bytes: int, expected: int):

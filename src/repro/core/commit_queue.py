@@ -37,11 +37,18 @@ class CommitQueue:
         capacity: int = 4096,
         obs: _t.Optional[_t.Any] = None,
         node: str = "",
+        shard_of: _t.Optional[_t.Callable[[int], int]] = None,
     ) -> None:
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
         self.env = env
         self.capacity = capacity
+        #: Maps a file id to its metadata shard.  ``None`` (single MDS)
+        #: pins everything to shard 0 -- checkout then behaves exactly
+        #: like the unsharded queue.  With a mapper, dedup/merge state is
+        #: already partitioned (a record is per file, a file is per
+        #: shard) and :meth:`checkout_stable` keeps batches single-shard.
+        self._shard_of = shard_of
         #: Observability bundle (``repro.obs.Instrumentation``) or None.
         self.obs = obs
         #: Node label for spans ("client-3"); cosmetic.
@@ -117,6 +124,9 @@ class CommitQueue:
             extents,
             data_events,
             require_data_stable=require_data_stable,
+            shard=(
+                self._shard_of(file_id) if self._shard_of is not None else 0
+            ),
         )
         if update_id is not None:
             record.trace_ids = (update_id,)
@@ -168,16 +178,25 @@ class CommitQueue:
         cluster at the head (oldest writes complete first), so a full
         queue no longer pays an O(n) rebuild per checkout -- only the
         scanned prefix is spliced and the unscanned tail is reused.
+
+        The batch is single-shard: the first stable record fixes the
+        destination, and stable records of other shards stay queued for
+        the next checkout (a compound commit RPC targets one server).
+        With one shard every record matches, so the scan is unchanged.
         """
         if limit <= 0:
             raise ValueError(f"limit must be positive, got {limit}")
         records = self._records
         batch: _t.List[CommitRecord] = []
         keep: _t.List[CommitRecord] = []
+        batch_shard: _t.Optional[int] = None
         scanned = 0
         for record in records:
             scanned += 1
-            if record.data_stable:
+            if record.data_stable and (
+                batch_shard is None or record.shard == batch_shard
+            ):
+                batch_shard = record.shard
                 record.checked_out = True
                 del self._by_file[record.file_id]
                 batch.append(record)

@@ -65,8 +65,13 @@ class CompoundController:
         self.obs = obs
         self.node = node
         self._degree = fixed_degree if fixed_degree is not None else 1
-        self._latency_ewma: _t.Optional[float] = None
-        self._latency_baseline: _t.Optional[float] = None
+        #: Per-destination-shard latency estimates: each metadata shard
+        #: is an independent server, so its round-trip EWMA and
+        #: uncongested baseline are tracked separately.  A single-MDS
+        #: deployment only ever populates shard 0, making the math
+        #: identical to the scalar version.
+        self._latency_ewma: _t.Dict[int, float] = {}
+        self._latency_baseline: _t.Dict[int, float] = {}
         self.adjustments = 0
         #: (time, degree) history for diagnostics.
         self.history: _t.List[_t.Tuple[float, int]] = []
@@ -78,25 +83,32 @@ class CompoundController:
         """Current compound degree (ops per commit RPC)."""
         return self._degree
 
-    def observe_rpc_latency(self, latency: float) -> None:
-        """Feed one commit RPC round-trip time into the load estimate."""
+    def observe_rpc_latency(self, latency: float, shard: int = 0) -> None:
+        """Feed one commit round-trip into ``shard``'s load estimate."""
         if latency < 0:
             raise ValueError(f"negative latency {latency}")
-        if self._latency_ewma is None:
-            self._latency_ewma = latency
-            self._latency_baseline = latency
+        ewma = self._latency_ewma.get(shard)
+        if ewma is None:
+            self._latency_ewma[shard] = latency
+            self._latency_baseline[shard] = latency
         else:
             a = self.policy.ewma_alpha
-            self._latency_ewma = (1 - a) * self._latency_ewma + a * latency
+            ewma = (1 - a) * ewma + a * latency
+            self._latency_ewma[shard] = ewma
             # The baseline tracks the smallest smoothed latency seen.
-            self._latency_baseline = min(
-                self._latency_baseline, self._latency_ewma
+            self._latency_baseline[shard] = min(
+                self._latency_baseline[shard], ewma
             )
 
     def _latency_ratio(self) -> float:
-        if not self._latency_ewma or not self._latency_baseline:
-            return 1.0
-        return self._latency_ewma / self._latency_baseline
+        """Worst latency inflation across shards (the busiest server)."""
+        worst = 1.0
+        for shard, ewma in self._latency_ewma.items():
+            baseline = self._latency_baseline.get(shard)
+            if not ewma or not baseline:
+                continue
+            worst = max(worst, ewma / baseline)
+        return worst
 
     def _control_loop(self) -> _t.Generator:
         while True:

@@ -103,6 +103,10 @@ def commit_daemon(
         batch = ctx.queue.checkout_stable(limit=ctx.controller.degree)
         if not batch:
             continue  # Another daemon won the race.
+        # Single-shard by construction (checkout never mixes shards);
+        # the compound RPC routes to -- and its latency sample scores --
+        # this shard's server.
+        batch_shard = batch[0].shard
 
         batch_trace_ids = tuple(
             uid for record in batch for uid in record.trace_ids
@@ -140,7 +144,9 @@ def commit_daemon(
             # but the MDS applied the commit.  Treat records as committed.
             _finish_batch(ctx, batch, sent_at)
             return
-        ctx.controller.observe_rpc_latency(env.now - sent_at)
+        ctx.controller.observe_rpc_latency(
+            env.now - sent_at, shard=batch_shard
+        )
         _finish_batch(ctx, batch, sent_at)
 
 

@@ -31,6 +31,7 @@ class CommitRecord:
     __slots__ = (
         "env",
         "file_id",
+        "shard",
         "extents",
         "data_events",
         "enqueue_time",
@@ -48,9 +49,13 @@ class CommitRecord:
         extents: _t.List[Extent],
         data_events: _t.List[Event],
         require_data_stable: bool = True,
+        shard: int = 0,
     ) -> None:
         self.env = env
         self.file_id = file_id
+        #: Metadata shard owning the file; commit batches never mix
+        #: shards (one compound RPC targets one server).
+        self.shard = shard
         self.extents = list(extents)
         self.data_events = list(data_events)
         self.enqueue_time = env.now

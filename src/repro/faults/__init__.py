@@ -24,6 +24,7 @@ from repro.faults.spec import (
     FaultSpec,
     MdsRestart,
     Partition,
+    ShardPartition,
 )
 
 __all__ = [
@@ -33,4 +34,5 @@ __all__ = [
     "LinkFaults",
     "MdsRestart",
     "Partition",
+    "ShardPartition",
 ]

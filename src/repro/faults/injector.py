@@ -12,7 +12,13 @@ from __future__ import annotations
 import typing as _t
 from dataclasses import dataclass, field
 
-from repro.faults.spec import ClientDeath, FaultSpec, MdsRestart, Partition
+from repro.faults.spec import (
+    ClientDeath,
+    FaultSpec,
+    MdsRestart,
+    Partition,
+    ShardPartition,
+)
 
 if _t.TYPE_CHECKING:  # pragma: no cover
     from repro.fs.redbud import RedbudCluster
@@ -28,6 +34,7 @@ class FaultStats:
     partition_drops: int = 0
     mds_restarts: int = 0
     client_deaths: int = 0
+    shard_partitions: int = 0
 
     @property
     def total_injected(self) -> int:
@@ -38,6 +45,7 @@ class FaultStats:
             + self.partition_drops
             + self.mds_restarts
             + self.client_deaths
+            + self.shard_partitions
         )
 
 
@@ -112,6 +120,7 @@ class FaultInjector:
             or spec.delay_prob > 0.0
             or spec.partitions
             or spec.mds_restarts
+            or spec.shard_partitions
         )
         if needs_retry and any(
             client.rpc.retry is None for client in cluster.clients
@@ -155,10 +164,30 @@ class FaultInjector:
                 name=f"fault-partition-{partition.client_id}",
             )
 
+        num_shards = cluster.metadata.num_shards
         for restart in spec.mds_restarts:
+            if restart.shard is not None and restart.shard >= num_shards:
+                raise ValueError(
+                    f"mds_restart names shard {restart.shard}, but the "
+                    f"cluster has {num_shards} metadata shard(s)"
+                )
             env.process(
                 self._mds_restart(restart),
                 name=f"fault-mds-restart-{restart.at}",
+            )
+
+        for sp in spec.shard_partitions:
+            if sp.shard >= num_shards:
+                raise ValueError(
+                    f"shard_partition names shard {sp.shard}, but the "
+                    f"cluster has {num_shards} metadata shard(s)"
+                )
+            cluster.ports[sp.shard].partition_windows.append(
+                (sp.start, sp.end)
+            )
+            env.process(
+                self._shard_partition_marker(sp),
+                name=f"fault-shard-partition-{sp.shard}",
             )
 
         for death in spec.client_deaths:
@@ -190,9 +219,19 @@ class FaultInjector:
         env = self.cluster.env
         yield env.timeout(max(0.0, restart.at - env.now))
         self.stats.mds_restarts += 1
-        self.cluster.mds.crash()
+        self.cluster.metadata.crash(shard=restart.shard)
         yield env.timeout(restart.downtime)
-        self.cluster.mds.restart()
+        self.cluster.metadata.restart(shard=restart.shard)
+
+    def _shard_partition_marker(self, sp: ShardPartition) -> _t.Generator:
+        """Emit obs events at the shard-partition edges (the drops are
+        counted by the target shard's port as traffic hits the window)."""
+        env = self.cluster.env
+        yield env.timeout(max(0.0, sp.start - env.now))
+        self.stats.shard_partitions += 1
+        self._instant("shard_partition_start", shard=sp.shard, until=sp.end)
+        yield env.timeout(max(0.0, sp.end - env.now))
+        self._instant("shard_partition_end", shard=sp.shard)
 
     def _client_death(self, death: ClientDeath) -> _t.Generator:
         env = self.cluster.env
@@ -231,5 +270,9 @@ class FaultInjector:
             "partition_drops": self.stats.partition_drops,
             "mds_restarts": self.stats.mds_restarts,
             "client_deaths": self.stats.client_deaths,
+            "shard_partitions": self.stats.shard_partitions,
+            "shard_partition_drops": sum(
+                port.partition_drops for port in self.cluster.ports
+            ),
             "total_injected": self.stats.total_injected,
         }

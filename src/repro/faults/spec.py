@@ -10,6 +10,12 @@ A spec is a comma-separated list of clauses::
                            the virtual-time window [T0, T1)
     mds_restart@T:D        crash the MDS at time T, restart it D seconds
                            later (inbox contents are lost)
+    mds_restart@T:D:shard=K
+                           same, but only metadata shard K of a sharded
+                           deployment (others keep serving)
+    shard_partition=K@T0-T1
+                           cut metadata shard K off from every client
+                           (both directions) during [T0, T1)
     client_death=CID@T     kill client CID at time T (volatile state and
                            queued I/O lost; lease GC reclaims its space)
     crash@T                whole-cluster crash at time T -- the run is cut
@@ -51,15 +57,40 @@ class Partition:
 
 @dataclass(frozen=True)
 class MdsRestart:
-    """MDS crash at ``at``, restart ``downtime`` seconds later."""
+    """MDS crash at ``at``, restart ``downtime`` seconds later.
+
+    ``shard`` narrows the crash to one metadata shard of a sharded
+    deployment; ``None`` (the default, and the only legal value for a
+    single-MDS cluster) crashes the whole service.
+    """
 
     at: float
     downtime: float
+    shard: _t.Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.at < 0 or self.downtime <= 0:
             raise ValueError(
                 f"bad mds_restart at={self.at} downtime={self.downtime}"
+            )
+        if self.shard is not None and self.shard < 0:
+            raise ValueError(f"bad mds_restart shard {self.shard}")
+
+
+@dataclass(frozen=True)
+class ShardPartition:
+    """Metadata shard ``shard`` cut off from all clients in [start, end)."""
+
+    shard: int
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.shard < 0:
+            raise ValueError(f"bad shard id {self.shard}")
+        if not 0 <= self.start < self.end:
+            raise ValueError(
+                f"bad shard_partition window [{self.start}, {self.end})"
             )
 
 
@@ -90,6 +121,9 @@ class FaultSpec:
     partitions: _t.Tuple[Partition, ...] = field(default_factory=tuple)
     mds_restarts: _t.Tuple[MdsRestart, ...] = field(default_factory=tuple)
     client_deaths: _t.Tuple[ClientDeath, ...] = field(default_factory=tuple)
+    shard_partitions: _t.Tuple[ShardPartition, ...] = field(
+        default_factory=tuple
+    )
     #: Whole-cluster crash time.  The injector ignores this field; the
     #: crash-schedule harness (``repro.check``) and ``repro run`` cut the
     #: run at this instant and run recovery + the consistency oracle.
@@ -123,6 +157,7 @@ class FaultSpec:
             and not self.partitions
             and not self.mds_restarts
             and not self.client_deaths
+            and not self.shard_partitions
         )
 
     @classmethod
@@ -134,6 +169,7 @@ class FaultSpec:
         partitions: _t.List[Partition] = []
         mds_restarts: _t.List[MdsRestart] = []
         client_deaths: _t.List[ClientDeath] = []
+        shard_partitions: _t.List[ShardPartition] = []
         crash_at: _t.Optional[float] = None
         for raw in text.split(","):
             clause = raw.strip()
@@ -159,9 +195,34 @@ class FaultSpec:
                         )
                     )
                 elif clause.startswith("mds_restart@"):
-                    at_s, down_s = clause[len("mds_restart@"):].split(":")
+                    parts = clause[len("mds_restart@"):].split(":")
+                    shard: _t.Optional[int] = None
+                    if len(parts) == 3:
+                        if not parts[2].startswith("shard="):
+                            raise ValueError(
+                                f"expected shard=K, got {parts[2]!r}"
+                            )
+                        shard = int(parts[2][len("shard="):])
+                    elif len(parts) != 2:
+                        raise ValueError("expected mds_restart@T:D[:shard=K]")
                     mds_restarts.append(
-                        MdsRestart(at=float(at_s), downtime=float(down_s))
+                        MdsRestart(
+                            at=float(parts[0]),
+                            downtime=float(parts[1]),
+                            shard=shard,
+                        )
+                    )
+                elif clause.startswith("shard_partition="):
+                    sid_s, window = clause[len("shard_partition="):].split(
+                        "@"
+                    )
+                    start_s, end_s = re.split(r"(?<![eE])-", window)
+                    shard_partitions.append(
+                        ShardPartition(
+                            shard=int(sid_s),
+                            start=float(start_s),
+                            end=float(end_s),
+                        )
                     )
                 elif clause.startswith("client_death="):
                     cid_s, at_s = clause[len("client_death="):].split("@")
@@ -187,6 +248,7 @@ class FaultSpec:
             partitions=tuple(partitions),
             mds_restarts=tuple(mds_restarts),
             client_deaths=tuple(client_deaths),
+            shard_partitions=tuple(shard_partitions),
             crash_at=crash_at,
         )
 
@@ -204,9 +266,14 @@ class FaultSpec:
         for p in self.partitions:
             clauses.append(f"partition={p.client_id}@{p.start!r}-{p.end!r}")
         for r in self.mds_restarts:
-            clauses.append(f"mds_restart@{r.at!r}:{r.downtime!r}")
+            suffix = "" if r.shard is None else f":shard={r.shard}"
+            clauses.append(f"mds_restart@{r.at!r}:{r.downtime!r}{suffix}")
         for d in self.client_deaths:
             clauses.append(f"client_death={d.client_id}@{d.at!r}")
+        for sp in self.shard_partitions:
+            clauses.append(
+                f"shard_partition={sp.shard}@{sp.start!r}-{sp.end!r}"
+            )
         if self.crash_at is not None:
             clauses.append(f"crash@{self.crash_at!r}")
         return ",".join(clauses)

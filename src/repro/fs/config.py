@@ -8,6 +8,7 @@ array for data, 16 MB delegation chunks, at most 9 commit threads.
 
 from __future__ import annotations
 
+import dataclasses
 import typing as _t
 from dataclasses import dataclass, field
 
@@ -95,6 +96,34 @@ class ClusterConfig:
             raise ValueError(
                 "space delegation requires delayed commit (paper §IV.A)"
             )
+        if self.mds.shards < 1:
+            raise ValueError(
+                f"mds.shards must be >= 1, got {self.mds.shards}"
+            )
+        if self.mds.shards > 1:
+            slice_size = self.disk.volume_size // self.mds.shards
+            if slice_size < self.num_allocation_groups:
+                raise ValueError(
+                    f"volume too small for {self.mds.shards} shards x "
+                    f"{self.num_allocation_groups} allocation groups"
+                )
+        # Canonical config normalization: the MDS hands out chunks of
+        # the size the clients pool, so a delegation_chunk override on
+        # the cluster config propagates into the MDS parameters here --
+        # every consumer (bench, check, examples) builds from one
+        # normalized config instead of patching it up downstream.
+        if self.mds.delegation_chunk != self.delegation_chunk:
+            self.mds = dataclasses.replace(
+                self.mds, delegation_chunk=self.delegation_chunk
+            )
+
+    def with_shards(self, shards: int) -> "ClusterConfig":
+        """This config with ``shards`` metadata shards (re-validated)."""
+        if shards == self.mds.shards:
+            return self
+        return dataclasses.replace(
+            self, mds=dataclasses.replace(self.mds, shards=shards)
+        )
 
     # -- the three Redbud configurations of Fig. 4/5 -------------------------
 

@@ -32,7 +32,16 @@ def build_cluster(
     (the full paper configuration); ``redbud-original`` is synchronous.
     ``obs`` is an optional :class:`repro.obs.Instrumentation` bundle;
     when given, the cluster traces causal spans and publishes metrics.
+    ``shards`` (redbud systems only) splits the metadata service into
+    that many shards; ``shards=1`` is byte-identical to the single MDS.
     """
+    shards = config_kw.pop("shards", None)
+    if shards is not None and shards > 1 and not system.startswith(
+        "redbud"
+    ):
+        raise ValueError(
+            f"metadata sharding requires a redbud system, got {system!r}"
+        )
     if system == "pvfs2":
         return Pvfs2Cluster(
             ClusterConfig(
@@ -54,19 +63,17 @@ def build_cluster(
             obs=obs,
         )
     if system == "redbud-original":
-        return RedbudCluster(
-            ClusterConfig.original_redbud(
-                num_clients=num_clients, **config_kw
-            ),
-            seed=seed,
-            obs=obs,
+        config = ClusterConfig.original_redbud(
+            num_clients=num_clients, **config_kw
         )
+        if shards is not None:
+            config = config.with_shards(shards)
+        return RedbudCluster(config, seed=seed, obs=obs)
     if system == "redbud-delayed":
-        return RedbudCluster(
-            ClusterConfig.space_delegation_config(
-                num_clients=num_clients, **config_kw
-            ),
-            seed=seed,
-            obs=obs,
+        config = ClusterConfig.space_delegation_config(
+            num_clients=num_clients, **config_kw
         )
+        if shards is not None:
+            config = config.with_shards(shards)
+        return RedbudCluster(config, seed=seed, obs=obs)
     raise ValueError(f"unknown system {system!r}; pick from {SYSTEMS}")

@@ -1,11 +1,21 @@
 """The Redbud cluster assembly (Fig. 2).
 
-One MDS, ``num_clients`` client nodes, a shared FC disk array.  Metadata
-RPCs cross per-client Ethernet links to the MDS; file data goes straight
-from each client's block queue to the array.  The three configurations
-the paper evaluates map to :class:`~repro.fs.config.ClusterConfig`
-factory methods: ``original_redbud`` (synchronous commit),
-``delayed_commit``, and ``space_delegation_config``.
+``config.mds.shards`` metadata servers (the paper's testbed is the
+``shards=1`` default: one MDS, ``num_clients`` client nodes, a shared FC
+disk array).  Metadata RPCs cross per-client Ethernet links to the MDS
+shards; file data goes straight from each client's block queue to the
+array.  The three configurations the paper evaluates map to
+:class:`~repro.fs.config.ClusterConfig` factory methods:
+``original_redbud`` (synchronous commit), ``delayed_commit``, and
+``space_delegation_config``.
+
+With ``shards > 1`` the cluster builds a
+:class:`~repro.mds.sharding.ShardedMetadataService`: each shard owns a
+namespace partition, a disjoint volume slice with its own allocation
+groups, its own RPC port/daemon pool/dedup cache/lease GC, and clients
+route per-file state (commit batches, delegated space, fence
+generations) to the owning shard.  ``shards=1`` takes the exact legacy
+construction path and is byte-identical to the single-MDS code.
 """
 
 from __future__ import annotations
@@ -21,6 +31,11 @@ from repro.fs.config import ClusterConfig
 from repro.mds.allocation import SpaceManager
 from repro.mds.namespace import Namespace
 from repro.mds.server import MetadataServer
+from repro.mds.sharding import (
+    ShardedMetadataService,
+    ShardRouter,
+    ShardRoutingTransport,
+)
 from repro.net.link import Link
 from repro.net.rpc import RpcClient, RpcServerPort, RpcTransport
 from repro.sim import Environment
@@ -44,19 +59,9 @@ class RedbudCluster(BaseCluster):
         obs: _t.Optional[_t.Any] = None,
     ) -> None:
         super().__init__(Environment(), seed=seed, obs=obs)
-        import dataclasses
-
-        # The MDS must hand out chunks of the configured size on the
-        # layout-get piggyback path too, not just on explicit requests.
-        if config.mds.delegation_chunk != config.delegation_chunk:
-            config = dataclasses.replace(
-                config,
-                mds=dataclasses.replace(
-                    config.mds, delegation_chunk=config.delegation_chunk
-                ),
-            )
         self.config = config
         env = self.env
+        num_shards = config.mds.shards
 
         self.blktrace = BlkTrace()
         self.array = DiskArray(
@@ -66,16 +71,41 @@ class RedbudCluster(BaseCluster):
             trace=self.blktrace,
             obs=obs,
         )
-        self.namespace = Namespace()
-        self.space = SpaceManager(
-            volume_size=config.disk.volume_size,
-            num_groups=config.num_allocation_groups,
-            strategy=config.ag_strategy,
-            rng=self.root_rng.stream("alloc"),
-        )
-        self.port = RpcServerPort(env)
+        self.router = ShardRouter(num_shards)
+        if num_shards == 1:
+            # Legacy single-MDS construction: identical stream names and
+            # object shapes, so the blktrace is byte-identical to the
+            # pre-sharding code (a golden test holds this line).
+            namespaces = [Namespace()]
+            spaces = [
+                SpaceManager(
+                    volume_size=config.disk.volume_size,
+                    num_groups=config.num_allocation_groups,
+                    strategy=config.ag_strategy,
+                    rng=self.root_rng.stream("alloc"),
+                )
+            ]
+        else:
+            slice_size = config.disk.volume_size // num_shards
+            namespaces = [
+                Namespace(first_id=k + 1, id_step=num_shards)
+                for k in range(num_shards)
+            ]
+            spaces = [
+                SpaceManager(
+                    volume_size=slice_size,
+                    num_groups=config.num_allocation_groups,
+                    strategy=config.ag_strategy,
+                    rng=self.root_rng.stream("alloc", k),
+                    base_offset=k * slice_size,
+                )
+                for k in range(num_shards)
+            ]
+            self.array.configure_shards(num_shards, slice_size)
+        self.ports = [RpcServerPort(env) for _ in range(num_shards)]
 
         downlinks: _t.Dict[int, Link] = {}
+        self.downlinks = downlinks
         self.clients: _t.List[RedbudClient] = []
         self.uplinks: _t.List[Link] = []
         for cid in range(config.num_clients):
@@ -95,10 +125,18 @@ class RedbudCluster(BaseCluster):
             )
             self.uplinks.append(uplink)
             downlinks[cid] = downlink
+            if num_shards == 1:
+                transport: _t.Any = RpcTransport(
+                    env, uplink, downlink, self.ports[0]
+                )
+            else:
+                transport = ShardRoutingTransport(
+                    env, uplink, downlink, self.ports, self.router
+                )
             rpc = RpcClient(
                 env,
                 cid,
-                RpcTransport(env, uplink, downlink, self.port),
+                transport,
                 obs=obs,
                 retry=config.retry,
                 retry_rng=(
@@ -107,8 +145,11 @@ class RedbudCluster(BaseCluster):
                     else None
                 ),
             )
-            delegation = (
-                DoubleSpacePool(chunk_size=config.delegation_chunk)
+            delegation_pools = (
+                {
+                    k: DoubleSpacePool(chunk_size=config.delegation_chunk)
+                    for k in range(num_shards)
+                }
                 if config.space_delegation
                 else None
             )
@@ -119,7 +160,9 @@ class RedbudCluster(BaseCluster):
                 BlockDevice(env, cid, self.array, obs=obs),
                 cache=PageCache(capacity=config.client_cache_capacity),
                 commit_mode=config.commit_mode,
-                delegation=delegation,
+                delegation=(
+                    delegation_pools[0] if delegation_pools else None
+                ),
                 commit_queue_capacity=config.commit_queue_capacity,
                 thread_pool_policy=config.thread_pool,
                 compound_policy=config.compound,
@@ -128,38 +171,74 @@ class RedbudCluster(BaseCluster):
                 obs=obs,
                 degrade_after_timeouts=config.degrade_after_timeouts,
                 degrade_backlog=config.degrade_backlog,
+                delegation_pools=delegation_pools,
+                shard_of_file=self.router.shard_of_file,
+                num_shards=num_shards,
             )
             self.clients.append(client)
 
-        self.mds = MetadataServer(
-            env,
-            config.mds,
-            self.namespace,
-            self.space,
-            self.port,
-            downlinks,
-            obs=obs,
+        self.metadata = ShardedMetadataService(
+            [
+                MetadataServer(
+                    env,
+                    config.mds,
+                    namespaces[k],
+                    spaces[k],
+                    self.ports[k],
+                    downlinks,
+                    obs=obs,
+                )
+                for k in range(num_shards)
+            ],
+            self.router,
         )
-        if self.mds.gc is not None:
-            # Storage-side fencing (DESIGN §8): reclaiming a silent
-            # client's space also revokes its array write access, so a
-            # reclaimed-but-alive client cannot scribble over blocks the
-            # MDS may already have re-allocated.
-            self.mds.gc.on_reclaim = self.array.fence
-            # When the fenced client is next heard from, the (modelled)
-            # state-re-establishment handshake stamps its future writes
-            # with the current generation; anything it queued before
-            # re-admission stays behind the fence.
-            self.mds.gc.on_readmit = self._readmit_client
+        for k, server in enumerate(self.metadata.servers):
+            if server.gc is not None:
+                # Storage-side fencing (DESIGN §8): reclaiming a silent
+                # client's space also revokes its array write access *on
+                # that shard's slice*, so a reclaimed-but-alive client
+                # cannot scribble over blocks the shard may already have
+                # re-allocated.
+                server.gc.on_reclaim = (
+                    lambda cid, _k=k: self.array.fence(cid, _k)
+                )
+                # When the fenced client is next heard from, the
+                # (modelled) state-re-establishment handshake stamps its
+                # future writes with the current generation; anything it
+                # queued before re-admission stays behind the fence.
+                server.gc.on_readmit = (
+                    lambda cid, _k=k: self._readmit_client(cid, _k)
+                )
         if obs is not None:
             from repro.obs.instrument import register_redbud_gauges
 
             register_redbud_gauges(obs, self)
 
-    def _readmit_client(self, client_id: int) -> None:
+    # -- single-MDS compatibility surface -----------------------------------
+    # ``shards=1`` callers (and everything written against the paper's
+    # topology) address "the" MDS, namespace, allocator, and port; those
+    # are shard 0's.
+
+    @property
+    def mds(self) -> MetadataServer:
+        return self.metadata.shard(0)
+
+    @property
+    def namespace(self) -> Namespace:
+        return self.metadata.shard(0).namespace
+
+    @property
+    def space(self) -> SpaceManager:
+        return self.metadata.shard(0).space
+
+    @property
+    def port(self) -> RpcServerPort:
+        return self.ports[0]
+
+    def _readmit_client(self, client_id: int, shard: int = 0) -> None:
         if 0 <= client_id < len(self.clients):
-            self.clients[client_id].blockdev.write_generation = (
-                self.array.fence_generations.get(client_id, 0)
+            self.clients[client_id].blockdev.write_generations[shard] = (
+                self.array.fence_generations.get((client_id, shard), 0)
             )
 
     # -- BaseCluster surface ------------------------------------------------------
@@ -180,12 +259,15 @@ class RedbudCluster(BaseCluster):
             "merge_ratio": merge.merge_ratio,
             "seek_analysis": self.blktrace.analyze(),
             "array_utilization": self.array.utilization,
-            "mds_requests": self.mds.requests_processed,
-            "mds_ops": self.mds.ops_processed,
+            "mds_requests": self.metadata.requests_processed,
+            "mds_ops": self.metadata.ops_processed,
             "rpc_messages": sum(link.stats.messages for link in self.uplinks),
             "cache_hits": sum(c.cache.hits for c in self.clients),
             "cache_misses": sum(c.cache.misses for c in self.clients),
         }
+        if self.metadata.num_shards > 1:
+            extras["mds_shards"] = self.metadata.num_shards
+            extras["mds_per_shard"] = self.metadata.per_shard_stats()
         if self.config.retry is not None:
             extras["rpc_retries"] = sum(
                 c.rpc.retries for c in self.clients
@@ -196,17 +278,20 @@ class RedbudCluster(BaseCluster):
             extras["degraded_writes"] = sum(
                 c.degraded_writes for c in self.clients
             )
-            extras["mds_restarts"] = self.mds.restarts
+            extras["mds_restarts"] = self.metadata.restarts
             extras["duplicate_commits_suppressed"] = (
-                self.mds.duplicate_commits_suppressed
+                self.metadata.duplicate_commits_suppressed
             )
             extras["duplicate_requests_suppressed"] = (
-                self.mds.duplicate_requests_suppressed
+                self.metadata.duplicate_requests_suppressed
             )
-            if self.mds.gc is not None:
-                extras["lease_gc_bytes_reclaimed"] = (
-                    self.mds.gc.bytes_reclaimed_total
-                )
+            gc_bytes = [
+                server.gc.bytes_reclaimed_total
+                for server in self.metadata.servers
+                if server.gc is not None
+            ]
+            if gc_bytes:
+                extras["lease_gc_bytes_reclaimed"] = sum(gc_bytes)
         if self.config.commit_mode in ("delayed", "unordered"):
             extras["pool_samples"] = [
                 c.thread_pool.samples for c in self.clients

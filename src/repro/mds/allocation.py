@@ -215,6 +215,7 @@ class SpaceManager:
         device_id: int = 0,
         rng: _t.Optional["StreamRNG"] = None,
         cursor_align: int = 64 * 1024,
+        base_offset: int = 0,
     ) -> None:
         if num_groups <= 0:
             raise ValueError(f"num_groups must be positive, got {num_groups}")
@@ -222,13 +223,21 @@ class SpaceManager:
             raise ValueError("volume too small for the AG count")
         if strategy not in ("locality", "round-robin", "random"):
             raise ValueError(f"unknown strategy {strategy!r}")
+        if base_offset < 0:
+            raise ValueError(f"base_offset must be >= 0, got {base_offset}")
         self.volume_size = volume_size
         self.strategy = strategy
         self.device_id = device_id
+        #: First volume byte this manager owns.  A sharded metadata
+        #: service carves the volume into disjoint slices, one manager
+        #: per shard, each covering ``[base_offset, base_offset +
+        #: volume_size)``.
+        self.base_offset = base_offset
         ag_size = volume_size // num_groups
         self.groups = [
             AllocationGroup(
-                i, i * ag_size, ag_size, cursor_align=cursor_align
+                i, base_offset + i * ag_size, ag_size,
+                cursor_align=cursor_align,
             )
             for i in range(num_groups)
         ]

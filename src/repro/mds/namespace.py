@@ -43,10 +43,18 @@ class FileMeta:
 class Namespace:
     """Flat file namespace (directories are out of the paper's scope)."""
 
-    def __init__(self) -> None:
+    def __init__(self, first_id: int = 1, id_step: int = 1) -> None:
+        if first_id < 1 or id_step < 1:
+            raise ValueError("first_id and id_step must be >= 1")
         self._files: _t.Dict[int, FileMeta] = {}
         self._by_name: _t.Dict[str, int] = {}
-        self._next_id = 1
+        #: File-id arithmetic progression.  A sharded deployment gives
+        #: shard ``k`` of ``N`` the namespace ``Namespace(first_id=k+1,
+        #: id_step=N)`` so ids never collide across shards and the owner
+        #: of any id is recoverable as ``(file_id - 1) % N``.
+        self.first_id = first_id
+        self.id_step = id_step
+        self._next_id = first_id
         self.creates = 0
         self.commits = 0
         self.unlinks = 0
@@ -65,7 +73,7 @@ class Namespace:
         meta = FileMeta(
             file_id=self._next_id, name=name, ctime=now, mtime=now
         )
-        self._next_id += 1
+        self._next_id += self.id_step
         self._files[meta.file_id] = meta
         self._by_name[name] = meta.file_id
         self.creates += 1

@@ -72,6 +72,11 @@ class MdsParameters:
     lease_duration: _t.Optional[float] = None
     #: Lease-GC scan interval, seconds.
     gc_scan_interval: float = 5.0
+    #: Metadata shards.  ``1`` is the paper's single-MDS deployment and
+    #: is byte-identical to the pre-sharding code path; ``N > 1`` builds
+    #: N independent :class:`MetadataServer` instances behind a
+    #: client-side router (:mod:`repro.mds.sharding`).
+    shards: int = 1
 
 
 @dataclass

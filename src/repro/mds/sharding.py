@@ -1,0 +1,366 @@
+"""Sharded metadata service: N independent MDS instances behind a router.
+
+The paper's Delayed Commit Protocol is defined against a single
+metadata server.  Scaling it out keeps the protocol untouched and
+partitions the *state* instead: shard ``k`` of ``N`` owns
+
+- a namespace slice (file ids ``k+1, k+1+N, k+1+2N, ...`` -- an
+  arithmetic progression, so the owner of any file id is recoverable
+  as ``(file_id - 1) % N`` with no directory lookup),
+- a disjoint volume slice ``[k * volume_size // N, (k+1) * ...)``
+  with its own allocation groups,
+- its own RPC port, daemon pool, commit dedup cache, and lease GC.
+
+Ordered writes are a per-file property, and a file lives entirely on
+one shard, so commits against different shards proceed independently
+without weakening the paper's consistency argument.  Cross-shard state
+is *provably* disjoint -- :func:`check_shard_disjointness` is the
+oracle's new invariant.
+
+Routing is deterministic and client-side: creates route by a stable
+hash of the file name (pluggable policy), every other operation by the
+file id's owner shard.  Retransmitted RPCs reuse the same message and
+therefore the same shard, preserving server-side dedup.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.mds.server import MetadataServer
+from repro.net.messages import (
+    CommitPayload,
+    CreatePayload,
+    DelegationPayload,
+    GetattrPayload,
+    LayoutGetPayload,
+    ReleasePayload,
+    RpcMessage,
+    UnlinkPayload,
+)
+from repro.util.intervals import IntervalSet
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.mds.allocation import SpaceManager
+    from repro.mds.namespace import Namespace
+    from repro.net.link import Link
+    from repro.net.rpc import RpcServerPort
+    from repro.sim.engine import Environment
+
+__all__ = [
+    "ShardRouter",
+    "ShardRoutingTransport",
+    "ShardedMetadataService",
+    "check_shard_disjointness",
+    "fnv1a_64",
+]
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+
+
+def fnv1a_64(data: bytes) -> int:
+    """64-bit FNV-1a: stable across processes and Python versions.
+
+    ``hash(str)`` is salted per interpreter (PYTHONHASHSEED), so it can
+    never be a routing function in a deterministic simulator.
+    """
+    acc = _FNV_OFFSET
+    for byte in data:
+        acc ^= byte
+        acc = (acc * _FNV_PRIME) & 0xFFFFFFFFFFFFFFFF
+    return acc
+
+
+def _hash_name_policy(name: str, num_shards: int) -> int:
+    return fnv1a_64(name.encode("utf-8")) % num_shards
+
+
+#: Named placement policies for :class:`ShardRouter`.
+PLACEMENT_POLICIES: _t.Dict[str, _t.Callable[[str, int], int]] = {
+    "hash-name": _hash_name_policy,
+}
+
+
+class ShardRouter:
+    """Deterministic file-handle -> shard mapping.
+
+    ``policy`` is either a name from :data:`PLACEMENT_POLICIES` or a
+    callable ``(name, num_shards) -> shard``.  The file-id progression
+    (see module docstring) makes :meth:`shard_of_file` pure arithmetic.
+    """
+
+    def __init__(
+        self,
+        num_shards: int,
+        policy: _t.Union[
+            str, _t.Callable[[str, int], int]
+        ] = "hash-name",
+    ) -> None:
+        if num_shards < 1:
+            raise ValueError(
+                f"num_shards must be >= 1, got {num_shards}"
+            )
+        self.num_shards = num_shards
+        if callable(policy):
+            self.policy_name = getattr(policy, "__name__", "custom")
+            self._policy = policy
+        else:
+            if policy not in PLACEMENT_POLICIES:
+                raise ValueError(
+                    f"unknown placement policy {policy!r}; choose from "
+                    f"{sorted(PLACEMENT_POLICIES)}"
+                )
+            self.policy_name = policy
+            self._policy = PLACEMENT_POLICIES[policy]
+
+    def shard_for_name(self, name: str) -> int:
+        """Placement decision for a new file handle."""
+        shard = self._policy(name, self.num_shards)
+        if not 0 <= shard < self.num_shards:
+            raise ValueError(
+                f"policy {self.policy_name!r} routed {name!r} to "
+                f"shard {shard} of {self.num_shards}"
+            )
+        return shard
+
+    def shard_of_file(self, file_id: int) -> int:
+        """Owner shard of an existing file id."""
+        return (file_id - 1) % self.num_shards
+
+    def shard_for_message(self, message: RpcMessage) -> int:
+        """Destination shard of an outbound RPC."""
+        payload = message.payload
+        if isinstance(payload, CreatePayload):
+            return self.shard_for_name(payload.name)
+        if isinstance(
+            payload, (GetattrPayload, LayoutGetPayload, UnlinkPayload)
+        ):
+            return self.shard_of_file(payload.file_id)
+        if isinstance(payload, CommitPayload):
+            # The commit daemon batches per shard, so one op's owner
+            # speaks for the whole compound.
+            return self.shard_of_file(payload.ops[0].file_id)
+        if isinstance(payload, (DelegationPayload, ReleasePayload)):
+            return payload.shard
+        raise TypeError(
+            f"cannot route payload type {type(payload).__name__}"
+        )
+
+
+class ShardRoutingTransport:
+    """Client-side transport fanning one uplink out to N shard ports.
+
+    Drop-in for :class:`repro.net.rpc.RpcTransport`: same ``uplink`` /
+    ``downlink`` attributes, same ``send_request`` / ``send_reply``
+    surface, but delivery targets the destination shard's port.  The
+    wire model is unchanged -- one NIC per client, shared by all shard
+    conversations, exactly like the single-MDS transport.
+    """
+
+    def __init__(
+        self,
+        env: "Environment",
+        uplink: "Link",
+        downlink: "Link",
+        ports: _t.Sequence["RpcServerPort"],
+        router: ShardRouter,
+    ) -> None:
+        if len(ports) != router.num_shards:
+            raise ValueError(
+                f"{len(ports)} ports for {router.num_shards} shards"
+            )
+        self.env = env
+        self.uplink = uplink
+        self.downlink = downlink
+        self.ports = list(ports)
+        self.router = router
+        #: Compatibility alias: "the" port is shard 0's.
+        self.port = self.ports[0]
+
+    def register_client(self, client_id: int) -> None:
+        """Attach this client's reply path on every shard port."""
+        for port in self.ports:
+            port.register(client_id, self)
+
+    def send_request(self, message: RpcMessage) -> None:
+        port = self.ports[self.router.shard_for_message(message)]
+        delivery = self.uplink.send(message.request_size())
+        delivery.callbacks.append(
+            lambda _ev, msg=message, p=port: p.deliver(msg)
+        )
+
+    def send_reply(self, message: RpcMessage) -> None:
+        from repro.net.rpc import _deliver_reply
+
+        delivery = self.downlink.send(message.reply_size())
+        delivery.callbacks.append(
+            lambda _ev, msg=message: _deliver_reply(msg)
+        )
+
+
+class ShardedMetadataService:
+    """Owns the shard servers and aggregates their state for the cluster.
+
+    The cluster-facing API mirrors a single :class:`MetadataServer`
+    closely enough that observability gauges and the fault injector do
+    not care how many shards exist; anything genuinely per-shard is
+    reachable through :meth:`shard` / iteration.
+    """
+
+    def __init__(
+        self, servers: _t.Sequence[MetadataServer], router: ShardRouter
+    ) -> None:
+        if len(servers) != router.num_shards:
+            raise ValueError(
+                f"{len(servers)} servers for {router.num_shards} shards"
+            )
+        self.servers = list(servers)
+        self.router = router
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.servers)
+
+    def shard(self, index: int) -> MetadataServer:
+        return self.servers[index]
+
+    def __iter__(self) -> _t.Iterator[MetadataServer]:
+        return iter(self.servers)
+
+    def __len__(self) -> int:
+        return len(self.servers)
+
+    # -- fault surface ------------------------------------------------------
+
+    def crash(self, shard: _t.Optional[int] = None) -> int:
+        """Crash one shard (or all of them); returns requests lost."""
+        targets = (
+            self.servers if shard is None else [self.servers[shard]]
+        )
+        return sum(server.crash() for server in targets)
+
+    def restart(self, shard: _t.Optional[int] = None) -> None:
+        targets = (
+            self.servers if shard is None else [self.servers[shard]]
+        )
+        for server in targets:
+            server.restart()
+
+    def set_commit_dedup_enabled(self, enabled: bool) -> None:
+        """Fan the seeded-bug switch out to every shard."""
+        for server in self.servers:
+            server.commit_dedup_enabled = enabled
+
+    # -- aggregated stats ---------------------------------------------------
+
+    def _sum(self, attr: str) -> int:
+        return sum(getattr(server, attr) for server in self.servers)
+
+    @property
+    def requests_processed(self) -> int:
+        return self._sum("requests_processed")
+
+    @property
+    def ops_processed(self) -> int:
+        return self._sum("ops_processed")
+
+    @property
+    def restarts(self) -> int:
+        return self._sum("restarts")
+
+    @property
+    def requests_lost_in_crashes(self) -> int:
+        return self._sum("requests_lost_in_crashes")
+
+    @property
+    def duplicate_commits_suppressed(self) -> int:
+        return self._sum("duplicate_commits_suppressed")
+
+    @property
+    def duplicate_requests_suppressed(self) -> int:
+        return self._sum("duplicate_requests_suppressed")
+
+    @property
+    def stale_commits(self) -> int:
+        return self._sum("stale_commits")
+
+    @property
+    def queue_length(self) -> int:
+        return sum(server.queue_length for server in self.servers)
+
+    @property
+    def utilization(self) -> float:
+        if not self.servers:
+            return 0.0
+        return max(server.utilization for server in self.servers)
+
+    def per_shard_stats(self) -> _t.List[_t.Dict[str, _t.Any]]:
+        """One record per shard for reporting (``collect_extras``)."""
+        return [
+            {
+                "shard": index,
+                "mds_requests": server.requests_processed,
+                "mds_ops": server.ops_processed,
+                "mds_restarts": server.restarts,
+                "files": len(server.namespace),
+                "free_bytes": server.space.free_bytes,
+            }
+            for index, server in enumerate(self.servers)
+        ]
+
+
+def check_shard_disjointness(
+    shards: _t.Sequence[_t.Tuple["Namespace", "SpaceManager"]],
+    volume_size: int,
+) -> _t.List[str]:
+    """The cross-shard invariant: shard state never overlaps.
+
+    Verifies (1) the volume slices themselves are disjoint and
+    in-bounds, (2) every committed extent and every tracked
+    uncommitted range of a shard lies inside that shard's slice, and
+    (3) no volume byte is claimed committed by two shards.  Returns
+    human-readable violation details; empty means disjoint.
+    """
+    violations: _t.List[str] = []
+    slices = IntervalSet()
+    for index, (_, space) in enumerate(shards):
+        lo, hi = space.base_offset, space.base_offset + space.volume_size
+        if lo < 0 or hi > volume_size:
+            violations.append(
+                f"shard {index} slice [{lo}, {hi}) exceeds the "
+                f"{volume_size}-byte volume"
+            )
+        if slices.overlaps(lo, hi):
+            violations.append(
+                f"shard {index} slice [{lo}, {hi}) overlaps another "
+                "shard's slice"
+            )
+        slices.add(lo, hi)
+
+    committed = IntervalSet()
+    for index, (namespace, space) in enumerate(shards):
+        lo, hi = space.base_offset, space.base_offset + space.volume_size
+        for offset, length in namespace.all_committed_ranges():
+            if offset < lo or offset + length > hi:
+                violations.append(
+                    f"shard {index} committed extent "
+                    f"[{offset}, {offset + length}) escapes its slice "
+                    f"[{lo}, {hi})"
+                )
+            if committed.overlaps(offset, offset + length):
+                violations.append(
+                    f"volume range [{offset}, {offset + length}) is "
+                    f"claimed committed by shard {index} and another "
+                    "shard"
+                )
+            committed.add(offset, offset + length)
+        for client_ranges in space._uncommitted.values():
+            for start, end in client_ranges:
+                if start < lo or end > hi:
+                    violations.append(
+                        f"shard {index} uncommitted range "
+                        f"[{start}, {end}) escapes its slice "
+                        f"[{lo}, {hi})"
+                    )
+    return violations

@@ -60,6 +60,9 @@ class DelegationPayload:
     """Explicitly request a delegated space chunk."""
 
     chunk_size: int
+    #: Destination metadata shard (space is delegated per shard; a
+    #: single-MDS deployment always uses shard 0).
+    shard: int = 0
 
 
 @dataclass
@@ -106,6 +109,9 @@ class ReleasePayload:
     """Return an unused delegated chunk (client shutdown / recovery)."""
 
     chunks: _t.List[_t.Tuple[int, int]]
+    #: Shard whose allocator the chunks came from (see
+    #: :class:`DelegationPayload`).
+    shard: int = 0
 
 
 @dataclass

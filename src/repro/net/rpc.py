@@ -93,6 +93,12 @@ class RpcServerPort:
         #: Server crashed: drop arriving requests instead of queueing.
         self.down = False
         self.dropped_while_down = 0
+        #: Shard-partition windows ``[(start, end), ...]``: while the
+        #: clock is inside one, the port is unreachable -- arriving
+        #: requests and outgoing replies are dropped as if this server's
+        #: network segment were cut (``repro.faults`` shard_partition).
+        self.partition_windows: _t.List[_t.Tuple[float, float]] = []
+        self.partition_drops = 0
         #: Client transports by client id; replies route through these so
         #: downlink faults can intercept them (see :meth:`reply`).
         self.transports: _t.Dict[int, "RpcTransport"] = {}
@@ -109,10 +115,21 @@ class RpcServerPort:
     def queue_length(self) -> int:
         return len(self.inbox)
 
+    def partitioned(self) -> bool:
+        """True while the clock sits inside a partition window."""
+        now = self.env.now
+        for start, end in self.partition_windows:
+            if start <= now < end:
+                return True
+        return False
+
     def deliver(self, message: RpcMessage) -> None:
         """Called by the transport when a request arrives off the wire."""
         if self.down:
             self.dropped_while_down += 1
+            return
+        if self.partition_windows and self.partitioned():
+            self.partition_drops += 1
             return
         self.requests_received += 1
         message.arrive_time = self.env.now
@@ -149,6 +166,12 @@ class RpcServerPort:
         never register a transport.
         """
         message.result = result
+        if self.partition_windows and self.partitioned():
+            # Outbound direction of a shard partition: the reply is
+            # produced but never reaches the wire.  The client's retry
+            # machinery recovers it after the window closes.
+            self.partition_drops += 1
+            return
         self.replies_sent += 1
         transport = self.transports.get(message.client_id)
         if transport is not None:
@@ -189,6 +212,15 @@ class RpcTransport:
         self.uplink = uplink
         self.downlink = downlink
         self.port = port
+
+    def register_client(self, client_id: int) -> None:
+        """Attach this client's reply path on the server port.
+
+        A routing transport (``repro.mds.sharding``) overrides this to
+        register with every shard's port; the stub calls it so it never
+        needs to know how many servers exist.
+        """
+        self.port.register(client_id, self)
 
     def send_request(self, message: RpcMessage) -> None:
         delivery = self.uplink.send(message.request_size())
@@ -242,7 +274,7 @@ class RpcClient:
         self.stopped = False
         self._next_xid = 1
         self._next_op_id = 1
-        transport.port.register(client_id, transport)
+        transport.register_client(client_id)
 
     def next_op_id(self) -> int:
         """Allocate a client-unique commit-op id (duplicate suppression)."""

@@ -137,12 +137,24 @@ def register_redbud_gauges(obs: Instrumentation, cluster: _t.Any) -> None:
         lambda: sum(c.space_rpc_allocs for c in clients),
     )
     reg.gauge("delegation.hit_rate", lambda: _lease_hit_rate(clients))
-    reg.gauge("mds.queue_depth", lambda: cluster.mds.queue_length)
-    reg.gauge("mds.utilization", lambda: cluster.mds.utilization)
+    # Aggregated across metadata shards (a single MDS is one shard).
+    metadata = cluster.metadata
+    reg.gauge("mds.queue_depth", lambda: metadata.queue_length)
+    reg.gauge("mds.utilization", lambda: metadata.utilization)
     reg.gauge(
-        "mds.requests_processed", lambda: cluster.mds.requests_processed
+        "mds.requests_processed", lambda: metadata.requests_processed
     )
-    reg.gauge("mds.ops_processed", lambda: cluster.mds.ops_processed)
+    reg.gauge("mds.ops_processed", lambda: metadata.ops_processed)
+    if metadata.num_shards > 1:
+        for k, server in enumerate(metadata):
+            reg.gauge(
+                f"mds.shard{k}.requests_processed",
+                lambda s=server: s.requests_processed,
+            )
+            reg.gauge(
+                f"mds.shard{k}.ops_processed",
+                lambda s=server: s.ops_processed,
+            )
     reg.gauge("array.utilization", lambda: cluster.array.utilization)
     reg.gauge("array.ops_served", lambda: cluster.array.ops_served)
     reg.gauge("array.bytes_served", lambda: cluster.array.bytes_served)

@@ -37,18 +37,30 @@ class BlockDevice:
     ) -> None:
         self.env = env
         self.client_id = client_id
-        #: Write-generation fencing token stamped into every request.
+        self.array = array
+        #: Per-shard write-generation fencing tokens stamped into every
+        #: request (keyed by the metadata shard owning the request's
+        #: volume range; a single-MDS deployment only uses shard 0).
         #: The *array-side* fence generation moves on lease reclaim, at
-        #: which point this client's outstanding writes are rejected.
-        #: When the client is next heard from, re-admission
-        #: (``RedbudCluster._readmit_client``) re-stamps this to the
-        #: current array generation -- the collapsed form of the NFSv4
-        #: state re-establishment handshake.
-        self.write_generation = 0
+        #: which point this client's outstanding writes on that shard's
+        #: slice are rejected.  When the client is next heard from,
+        #: re-admission (``RedbudCluster._readmit_client``) re-stamps
+        #: the shard's entry to the current array generation -- the
+        #: collapsed form of the NFSv4 state re-establishment handshake.
+        self.write_generations: _t.Dict[int, int] = {}
         self.scheduler = ElevatorScheduler(
             env, client_id, max_merge_bytes=max_merge_bytes, obs=obs
         )
         array.attach(self.scheduler)
+
+    @property
+    def write_generation(self) -> int:
+        """Shard-0 fencing token (the whole story when unsharded)."""
+        return self.write_generations.get(0, 0)
+
+    @write_generation.setter
+    def write_generation(self, value: int) -> None:
+        self.write_generations[0] = value
 
     def submit_write(
         self,
@@ -95,7 +107,9 @@ class BlockDevice:
             completion=completion,
             sync=sync,
             trace_update=trace_update,
-            write_generation=self.write_generation,
+            write_generation=self.write_generations.get(
+                self.array.shard_of_offset(start), 0
+            ),
         )
         self.scheduler.submit(request)
         return completion

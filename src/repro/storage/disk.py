@@ -196,39 +196,66 @@ class DiskArray:
         #: completed (at most one per spindle).  These sit on the lost
         #: side of the crash boundary together with queued requests.
         self.in_flight: _t.List[BlockRequest] = []
-        #: Per-client fence generation (DESIGN §8).  A WRITE whose
-        #: ``write_generation`` is below its client's entry here is
-        #: rejected at command level -- the persistent-reservation
-        #: fencing that makes lease reclamation safe against a
-        #: reclaimed-but-alive client still flushing writeback.
-        self.fence_generations: _t.Dict[int, int] = {}
+        #: Per-``(client, shard)`` fence generation (DESIGN §8).  A
+        #: WRITE whose ``write_generation`` is below its client's entry
+        #: for the shard owning its volume range is rejected at command
+        #: level -- the persistent-reservation fencing that makes lease
+        #: reclamation safe against a reclaimed-but-alive client still
+        #: flushing writeback.  A single-MDS deployment only ever uses
+        #: shard 0.
+        self.fence_generations: _t.Dict[_t.Tuple[int, int], int] = {}
         self.fenced_writes = 0
+        #: Metadata-shard slicing of the volume: shard ``k`` owns
+        #: ``[k * slice, (k+1) * slice)``.  One shard (the default)
+        #: means every offset maps to shard 0.
+        self._num_shards = 1
+        self._shard_slice_size = 0
 
-    def fence(self, client_id: int) -> int:
-        """Revoke ``client_id``'s write access: bump its fence generation.
+    def configure_shards(self, num_shards: int, slice_size: int) -> None:
+        """Install the shard -> volume-slice map (sharded metadata)."""
+        if num_shards < 1 or (num_shards > 1 and slice_size <= 0):
+            raise ValueError(
+                f"bad shard geometry: {num_shards} x {slice_size}"
+            )
+        self._num_shards = num_shards
+        self._shard_slice_size = slice_size
 
-        Called by the lease garbage collector after reclaiming the
-        client's uncommitted space; every data write the client issued
-        before learning of the revocation (it may be alive behind a
-        partition) now bounces off the array instead of landing on
-        possibly re-allocated blocks.  Returns the new generation.
+    def shard_of_offset(self, offset: int) -> int:
+        """Metadata shard owning a volume offset (0 when unsharded)."""
+        if self._num_shards == 1:
+            return 0
+        return min(
+            self._num_shards - 1, offset // self._shard_slice_size
+        )
+
+    def fence(self, client_id: int, shard: int = 0) -> int:
+        """Revoke ``client_id``'s write access on ``shard``'s slice.
+
+        Called by the shard's lease garbage collector after reclaiming
+        the client's uncommitted space; every data write the client
+        issued before learning of the revocation (it may be alive
+        behind a partition) now bounces off the array instead of
+        landing on possibly re-allocated blocks.  Returns the new
+        generation.
         """
-        gen = self.fence_generations.get(client_id, 0) + 1
-        self.fence_generations[client_id] = gen
+        key = (client_id, shard)
+        gen = self.fence_generations.get(key, 0) + 1
+        self.fence_generations[key] = gen
         if self.obs is not None:
             self.obs.tracer.instant(
                 "array_fence", "fault", node="array", actor="array",
-                client=client_id, generation=gen,
+                client=client_id, shard=shard, generation=gen,
             )
             self.obs.registry.counter("array.fences").inc()
         return gen
 
     def write_fenced(self, request: BlockRequest) -> bool:
         """Whether ``request`` is a WRITE behind its client's fence."""
-        return (
-            request.op == WRITE
-            and request.write_generation
-            < self.fence_generations.get(request.client_id, 0)
+        if request.op != WRITE:
+            return False
+        shard = self.shard_of_offset(request.start)
+        return request.write_generation < self.fence_generations.get(
+            (request.client_id, shard), 0
         )
 
     # -- wiring ---------------------------------------------------------------

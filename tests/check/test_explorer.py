@@ -54,10 +54,10 @@ def test_partition_fences_then_readmits_client():
         if e.name == "array_fence" and e.args.get("client") == 0
     ]
     assert fences and fences[0].time < 0.35  # fenced during the run
-    assert cluster.array.fence_generations[0] >= 1
+    assert cluster.array.fence_generations[(0, 0)] >= 1
     assert (
         cluster.clients[0].blockdev.write_generation
-        == cluster.array.fence_generations[0]
+        == cluster.array.fence_generations[(0, 0)]
     )
 
 

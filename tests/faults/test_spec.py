@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.faults import ClientDeath, FaultSpec, MdsRestart, Partition
+from repro.faults import (
+    ClientDeath,
+    FaultSpec,
+    MdsRestart,
+    Partition,
+    ShardPartition,
+)
 from repro.sim import StreamRNG
 
 
@@ -76,6 +82,60 @@ def test_validation_rejects_bad_windows():
         MdsRestart(at=0.5, downtime=0.0)
     with pytest.raises(ValueError):
         ClientDeath(client_id=-1, at=0.5)
+
+
+def test_parse_shard_targeted_restart():
+    spec = FaultSpec.parse("mds_restart@0.5:0.2:shard=1")
+    assert spec.mds_restarts == (
+        MdsRestart(at=0.5, downtime=0.2, shard=1),
+    )
+    # Untargeted restarts keep shard=None (crash every shard).
+    assert FaultSpec.parse("mds_restart@0.5:0.2").mds_restarts[0].shard is None
+
+
+def test_parse_shard_partition():
+    spec = FaultSpec.parse("shard_partition=1@0.1-0.3")
+    assert spec.shard_partitions == (
+        ShardPartition(shard=1, start=0.1, end=0.3),
+    )
+    assert not spec.empty
+
+
+@pytest.mark.parametrize(
+    "text",
+    [
+        "mds_restart@0.5:0.2:1",  # third part must be shard=K
+        "mds_restart@0.5:0.2:shard=x",
+        "shard_partition=1@0.5",  # missing -end
+        "shard_partition=@0.1-0.3",
+    ],
+)
+def test_parse_malformed_shard_clauses_rejected(text):
+    with pytest.raises(ValueError, match="malformed fault clause"):
+        FaultSpec.parse(text)
+
+
+def test_shard_clause_validation():
+    with pytest.raises(ValueError):
+        MdsRestart(at=0.5, downtime=0.2, shard=-1)
+    with pytest.raises(ValueError):
+        ShardPartition(shard=-1, start=0.1, end=0.3)
+    with pytest.raises(ValueError):
+        ShardPartition(shard=0, start=0.3, end=0.3)
+
+
+def test_shard_clauses_round_trip_exactly():
+    """serialize() is the exact inverse of parse(), including floats
+    with long reprs -- the explorer's replay contract."""
+    for text in (
+        "mds_restart@0.5:0.2:shard=1",
+        "shard_partition=0@0.1-0.30000000000000004",
+        "loss=0.05,mds_restart@0.25:0.1:shard=3,"
+        "shard_partition=2@0.2-0.42",
+    ):
+        spec = FaultSpec.parse(text)
+        assert spec.serialize() == text
+        assert FaultSpec.parse(spec.serialize()) == spec
 
 
 def test_random_schedule_is_deterministic_and_complete():

@@ -17,7 +17,7 @@ def test_fence_bumps_generation_monotonically():
     assert array.fence(3) == 1
     assert array.fence(3) == 2
     assert array.fence(5) == 1
-    assert array.fence_generations == {3: 2, 5: 1}
+    assert array.fence_generations == {(3, 0): 2, (5, 0): 1}
 
 
 def test_stale_write_bounces_and_never_lands():
@@ -64,7 +64,7 @@ def test_restamped_write_lands_after_readmission():
     array.fence(0)
     # Re-admission: the client re-establishes state and picks up the
     # current generation (RedbudCluster._readmit_client does this).
-    dev.write_generation = array.fence_generations[0]
+    dev.write_generation = array.fence_generations[(0, 0)]
 
     def proc(env):
         yield dev.submit_write(0, 4096, file_id=1, sync=True)
