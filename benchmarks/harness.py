@@ -235,11 +235,18 @@ def run_cell(cell: _t.Dict[str, _t.Any]) -> _t.Dict[str, _t.Any]:
     )
     wall = time.perf_counter() - t0
     events = cluster.env.scheduled_events
+    latency = result.latency()
     return {
         "cell": cell,
         "ops_completed": result.ops_completed,
         "ops_per_second": result.ops_per_second,
         "bytes_per_second": result.bytes_per_second,
+        # Tail-latency columns (seconds, pooled over op types) so the
+        # per-PR perf trajectory tracks tails, not just throughput.
+        "latency_mean": latency.mean,
+        "latency_p50": latency.p50,
+        "latency_p99": latency.p99,
+        "latency_p999": latency.p999,
         "events": events,
         "wall_time": wall,
         "events_per_second": events / wall if wall > 0 else 0.0,

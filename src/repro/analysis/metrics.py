@@ -3,6 +3,15 @@
 Each workload thread records every completed operation here; the harness
 then reads ops/sec, per-type latency percentiles, and byte throughput --
 the quantities behind the Fig. 3 normalised-performance bars.
+
+Latencies accumulate into log-bucketed quantile histograms
+(:class:`repro.obs.registry.Histogram`, ~1% relative error) instead of
+per-sample lists, so p50/p90/p99/p999 stay readable from O(buckets)
+memory however long the run -- the tail-latency substrate of the SLO
+layer (DESIGN §12).  Samples are additionally bucketed into
+fixed-interval virtual-time *windows* (:attr:`OpMetrics.window`), which
+is what lets :class:`repro.obs.slo.Timeline` report tails per window and
+excuse windows where a fault was live.
 """
 
 from __future__ import annotations
@@ -10,7 +19,7 @@ from __future__ import annotations
 import typing as _t
 from dataclasses import dataclass
 
-import numpy as np
+from repro.obs.registry import Histogram
 
 
 @dataclass(frozen=True)
@@ -23,27 +32,58 @@ class LatencyStats:
     p95: float
     p99: float
     max: float
+    p90: float = 0.0
+    p999: float = 0.0
+
+    @classmethod
+    def from_histogram(cls, hist: Histogram) -> "LatencyStats":
+        if hist.count == 0:
+            return cls(0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        return cls(
+            count=hist.count,
+            mean=hist.mean,
+            p50=hist.quantile(0.50),
+            p95=hist.quantile(0.95),
+            p99=hist.quantile(0.99),
+            max=float(hist.max),
+            p90=hist.quantile(0.90),
+            p999=hist.quantile(0.999),
+        )
 
     @classmethod
     def from_samples(cls, samples: _t.Sequence[float]) -> "LatencyStats":
-        if not samples:
-            return cls(0, 0.0, 0.0, 0.0, 0.0, 0.0)
-        arr = np.asarray(samples, dtype=float)
-        return cls(
-            count=len(arr),
-            mean=float(arr.mean()),
-            p50=float(np.percentile(arr, 50)),
-            p95=float(np.percentile(arr, 95)),
-            p99=float(np.percentile(arr, 99)),
-            max=float(arr.max()),
-        )
+        hist = Histogram("samples")
+        for sample in samples:
+            hist.observe(sample)
+        return cls.from_histogram(hist)
+
+    def as_dict(self) -> _t.Dict[str, float]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.p50,
+            "p90": self.p90,
+            "p95": self.p95,
+            "p99": self.p99,
+            "p999": self.p999,
+            "max": self.max,
+        }
 
 
 class OpMetrics:
     """Accumulates (op type, latency, bytes) tuples during a run."""
 
-    def __init__(self) -> None:
-        self._latencies: _t.Dict[str, _t.List[float]] = {}
+    #: Timeline window width (virtual seconds) for per-window latency
+    #: histograms.  All accumulators merged together must agree on it.
+    WINDOW = 0.25
+
+    def __init__(self, window: float = WINDOW) -> None:
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        self.window = window
+        self._hists: _t.Dict[str, Histogram] = {}
+        #: window index -> op type -> latency histogram.
+        self._window_hists: _t.Dict[int, _t.Dict[str, Histogram]] = {}
         self._bytes: _t.Dict[str, int] = {}
         self._counts: _t.Dict[str, int] = {}
         self.start_time: _t.Optional[float] = None
@@ -54,7 +94,15 @@ class OpMetrics:
     ) -> None:
         if latency < 0:
             raise ValueError(f"negative latency {latency}")
-        self._latencies.setdefault(op, []).append(latency)
+        hist = self._hists.get(op)
+        if hist is None:
+            hist = self._hists[op] = Histogram(op)
+        hist.observe(latency)
+        windows = self._window_hists.setdefault(int(now / self.window), {})
+        whist = windows.get(op)
+        if whist is None:
+            whist = windows[op] = Histogram(op)
+        whist.observe(latency)
         self._counts[op] = self._counts.get(op, 0) + 1
         self._bytes[op] = self._bytes.get(op, 0) + nbytes
         # The window start is the earliest op *start*, not the start of
@@ -85,14 +133,24 @@ class OpMetrics:
     def op_types(self) -> _t.List[str]:
         return sorted(self._counts)
 
+    def histogram(self, op: _t.Optional[str] = None) -> Histogram:
+        """The quantile histogram for one op type, or pooled over all."""
+        if op is not None:
+            return self._hists.get(op, Histogram(op))
+        pooled = Histogram("all")
+        for hist in self._hists.values():
+            pooled.merge_from(hist)
+        return pooled
+
     def latency(self, op: _t.Optional[str] = None) -> LatencyStats:
         """Latency stats for one op type, or pooled across all."""
-        if op is not None:
-            return LatencyStats.from_samples(self._latencies.get(op, []))
-        pooled: _t.List[float] = []
-        for samples in self._latencies.values():
-            pooled.extend(samples)
-        return LatencyStats.from_samples(pooled)
+        return LatencyStats.from_histogram(self.histogram(op))
+
+    def window_histograms(
+        self,
+    ) -> _t.List[_t.Tuple[int, _t.Dict[str, Histogram]]]:
+        """(window index, op -> histogram) pairs in window order."""
+        return sorted(self._window_hists.items())
 
     def ops_per_second(self, duration: _t.Optional[float] = None) -> float:
         d = duration if duration is not None else self.elapsed()
@@ -109,8 +167,22 @@ class OpMetrics:
 
     def merge_from(self, other: "OpMetrics") -> None:
         """Fold another accumulator (e.g. another client's) into this one."""
-        for op, samples in other._latencies.items():
-            self._latencies.setdefault(op, []).extend(samples)
+        if other.window != self.window:
+            raise ValueError(
+                f"window mismatch: {self.window} vs {other.window}"
+            )
+        for op, hist in other._hists.items():
+            mine = self._hists.get(op)
+            if mine is None:
+                mine = self._hists[op] = Histogram(op)
+            mine.merge_from(hist)
+        for index, per_op in other._window_hists.items():
+            windows = self._window_hists.setdefault(index, {})
+            for op, hist in per_op.items():
+                mine = windows.get(op)
+                if mine is None:
+                    mine = windows[op] = Histogram(op)
+                mine.merge_from(hist)
         for op, count in other._counts.items():
             self._counts[op] = self._counts.get(op, 0) + count
         for op, nbytes in other._bytes.items():

@@ -27,6 +27,14 @@ Commands
     processes with incremental result caching and write the
     machine-readable ``BENCH_sim.json`` perf report (see
     ``benchmarks/harness.py``).
+``slo``
+    Run one workload across chosen systems with the tail-latency layer
+    armed: per-op p50/p99/p999 tables, SLO verdicts
+    (``--slo 'write:p99<=0.05,*:p999<=0.5'``, exit nonzero on
+    violation), critical-path stage breakdown for the slowest decile,
+    a fault-annotated timeline (``--timeline``), and a Perfetto trace
+    with counter tracks (``--trace``).  ``run``/``compare`` also accept
+    ``--slo`` for verdicts inline.
 ``crash``
     Crash a busy delayed-commit cluster at a chosen instant, verify the
     ordered-writes invariant, and run recovery.
@@ -46,6 +54,10 @@ Examples
     python -m repro compare --workload varmail --duration 3
     python -m repro trace --system redbud-delayed --out t.json
     python -m repro stats --system redbud-delayed --workload varmail
+    python -m repro slo --systems redbud-delayed,nfs3 \
+        --slo 'write:p99<=0.05,*:p999<=0.5'
+    python -m repro slo --shards 2 --faults 'mds_restart@0.5:0.2' \
+        --timeline --trace slo.json
     python -m repro crash --at 0.4 --mode unordered
     python -m repro check --budget 200 --seed 0 --out check.json
     python -m repro bench --figure fig3 --seeds 8
@@ -127,14 +139,7 @@ def _result_dict(result: _t.Any) -> _t.Dict[str, _t.Any]:
         "ops_completed": result.ops_completed,
         "ops_per_second": result.ops_per_second,
         "bytes_per_second": result.bytes_per_second,
-        "latency": {
-            "count": latency.count,
-            "mean": latency.mean,
-            "p50": latency.p50,
-            "p95": latency.p95,
-            "p99": latency.p99,
-            "max": latency.max,
-        },
+        "latency": latency.as_dict(),
         "extras": _scalar_extras(result.extras),
     }
 
@@ -171,10 +176,38 @@ def _build_obs(args: argparse.Namespace) -> _t.Optional[_t.Any]:
     return Instrumentation()
 
 
+def _parse_slo(text: str) -> _t.Any:
+    """Parse ``--slo`` or print the error and return None."""
+    from repro.obs import SloSpec
+
+    try:
+        return SloSpec.parse(text)
+    except ValueError as exc:
+        print(f"error: bad --slo spec: {exc}", file=sys.stderr)
+        return None
+
+
+def _evaluate_slo(
+    spec: _t.Any, result: _t.Any, obs: _t.Optional[_t.Any]
+) -> _t.Tuple[_t.List[_t.Any], _t.FrozenSet[int]]:
+    """Judge ``spec`` against a run, fault-excusing traced windows."""
+    from repro.obs import Timeline
+
+    tracer = obs.tracer if obs is not None else None
+    timeline = Timeline.build(result.metrics, tracer)
+    excused = timeline.fault_window_indexes
+    return spec.evaluate(result.metrics, excused), excused
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     if args.trace and (err := _check_writable(args.trace)):
         print(err, file=sys.stderr)
         return 2
+    slo_spec = None
+    if getattr(args, "slo", None):
+        slo_spec = _parse_slo(args.slo)
+        if slo_spec is None:
+            return 2
     obs = _build_obs(args)
     config_kw: _t.Dict[str, _t.Any] = {}
     spec = None
@@ -274,6 +307,11 @@ def cmd_run(args: argparse.Namespace) -> int:
         print(
             f"wrote {count} trace events to {args.trace}", file=sys.stderr
         )
+    slo_results: _t.List[_t.Any] = []
+    slo_excused: _t.FrozenSet[int] = frozenset()
+    if slo_spec is not None:
+        slo_results, slo_excused = _evaluate_slo(slo_spec, result, obs)
+    slo_ok = all(r.passed for r in slo_results)
     if args.json:
         payload = _result_dict(result)
         if "mds_per_shard" in result.extras:
@@ -286,8 +324,17 @@ def cmd_run(args: argparse.Namespace) -> int:
             payload["faults"] = injector.summary()
         if check_verdict is not None:
             payload["check"] = check_verdict.as_dict()
+        if slo_spec is not None:
+            payload["slo"] = {
+                "spec": slo_spec.describe(),
+                "excused_windows": sorted(slo_excused),
+                "results": [r.as_dict() for r in slo_results],
+                "ok": slo_ok,
+            }
         print(json.dumps(payload, indent=2, sort_keys=True))
-        return 0 if check_verdict is None or check_verdict.ok else 1
+        if check_verdict is not None and not check_verdict.ok:
+            return 1
+        return 0 if slo_ok else 1
     table = Table(
         ["metric", "value"],
         title=f"{args.system} / {args.workload} "
@@ -306,12 +353,16 @@ def cmd_run(args: argparse.Namespace) -> int:
         stats = result.latency(op)
         print(
             f"  {op:>12}: n={stats.count:<7} mean={fmt_time(stats.mean)} "
-            f"p95={fmt_time(stats.p95)}"
+            f"p95={fmt_time(stats.p95)} p99={fmt_time(stats.p99)} "
+            f"p999={fmt_time(stats.p999)}"
         )
     per_shard = result.extras.get("mds_per_shard")
     if per_shard:
         shard_table = Table(
-            ["shard", "mds_requests", "mds_ops", "files", "free_bytes"],
+            [
+                "shard", "mds_requests", "mds_ops", "files", "free_bytes",
+                "svc_p50", "svc_p99", "svc_p999",
+            ],
             title="metadata shards",
         )
         for row in per_shard:
@@ -321,6 +372,9 @@ def cmd_run(args: argparse.Namespace) -> int:
                 row["mds_ops"],
                 row["files"],
                 row["free_bytes"],
+                fmt_time(row["svc_p50"]),
+                fmt_time(row["svc_p99"]),
+                fmt_time(row["svc_p999"]),
             )
         shard_table.print()
     if injector is not None:
@@ -337,6 +391,14 @@ def cmd_run(args: argparse.Namespace) -> int:
             if key in result.extras:
                 fault_table.add_row(key, result.extras[key])
         fault_table.print()
+    if slo_spec is not None:
+        from repro.obs import slo_table
+
+        slo_table(
+            slo_results,
+            title=f"SLO: {args.system}",
+            excused_windows=len(slo_excused),
+        ).print()
     if check_verdict is not None:
         for line in check_verdict.summaries:
             print(f"check: {line}")
@@ -344,15 +406,21 @@ def cmd_run(args: argparse.Namespace) -> int:
             print(f"check VIOLATION [{kind}]: {detail}")
         if not check_verdict.ok:
             return 1
-    return 0
+    return 0 if slo_ok else 1
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
     if args.trace and (err := _check_writable(args.trace)):
         print(err, file=sys.stderr)
         return 2
+    slo_spec = None
+    if getattr(args, "slo", None):
+        slo_spec = _parse_slo(args.slo)
+        if slo_spec is None:
+            return 2
     metric = _metric(args.workload)
     results = {}
+    slo_verdicts: _t.Dict[str, _t.List[_t.Any]] = {}
     for system in SYSTEMS:
         obs = _build_obs(args)
         cluster = build_cluster(
@@ -361,6 +429,10 @@ def cmd_compare(args: argparse.Namespace) -> int:
         results[system] = cluster.run_workload(
             WORKLOADS[args.workload](), duration=args.duration
         )
+        if slo_spec is not None:
+            slo_verdicts[system], _ = _evaluate_slo(
+                slo_spec, results[system], obs
+            )
         if obs is not None:
             from repro.obs import write_chrome_trace
 
@@ -374,6 +446,9 @@ def cmd_compare(args: argparse.Namespace) -> int:
         else:
             print(f"  {system}: done", file=sys.stderr)
     base = metric(results["redbud-original"])
+    slo_ok = all(
+        r.passed for verdicts in slo_verdicts.values() for r in verdicts
+    )
     if args.json:
         payload = {
             "workload": args.workload,
@@ -386,8 +461,17 @@ def cmd_compare(args: argparse.Namespace) -> int:
                 for system, r in results.items()
             },
         }
+        if slo_spec is not None:
+            payload["slo"] = {
+                "spec": slo_spec.describe(),
+                "ok": slo_ok,
+                "systems": {
+                    system: [r.as_dict() for r in verdicts]
+                    for system, verdicts in slo_verdicts.items()
+                },
+            }
         print(json.dumps(payload, indent=2, sort_keys=True))
-        return 0
+        return 0 if slo_ok else 1
     table = Table(
         ["system", "ops/s", "throughput", "normalised"],
         title=f"{args.workload}: all systems (normalised to original Redbud)",
@@ -401,7 +485,14 @@ def cmd_compare(args: argparse.Namespace) -> int:
             metric(r) / base if base else 0.0,
         )
     table.print()
-    return 0
+    if slo_spec is not None:
+        from repro.obs import slo_table
+
+        for system in SYSTEMS:
+            slo_table(
+                slo_verdicts[system], title=f"SLO: {system}"
+            ).print()
+    return 0 if slo_ok else 1
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
@@ -458,6 +549,190 @@ def cmd_stats(args: argparse.Namespace) -> int:
         title=f"{args.system} / {args.workload} metrics",
     ).print()
     return 0
+
+
+def cmd_slo(args: argparse.Namespace) -> int:
+    from repro.obs import (
+        Instrumentation,
+        Timeline,
+        critical_path_table,
+        decompose_updates,
+        slo_table,
+        timeline_counter_events,
+        write_chrome_trace,
+    )
+
+    if args.trace and (err := _check_writable(args.trace)):
+        print(err, file=sys.stderr)
+        return 2
+    spec = None
+    if args.slo:
+        spec = _parse_slo(args.slo)
+        if spec is None:
+            return 2
+    systems = [s.strip() for s in args.systems.split(",") if s.strip()]
+    for system in systems:
+        if system not in SYSTEMS:
+            print(
+                f"error: unknown system {system!r}; choose from "
+                f"{', '.join(SYSTEMS)}",
+                file=sys.stderr,
+            )
+            return 2
+    fault_spec = None
+    if args.faults:
+        from repro.faults import FaultSpec
+
+        try:
+            fault_spec = FaultSpec.parse(args.faults)
+        except ValueError as exc:
+            print(f"error: bad --faults spec: {exc}", file=sys.stderr)
+            return 2
+        if fault_spec.crash_at is not None:
+            print(
+                "error: crash@T schedules belong to `repro run --check`",
+                file=sys.stderr,
+            )
+            return 2
+        if fault_spec.empty:
+            fault_spec = None
+    needs_redbud = fault_spec is not None or args.shards > 1
+    if needs_redbud and any(not s.startswith("redbud") for s in systems):
+        print(
+            "error: --faults/--shards support the redbud systems only",
+            file=sys.stderr,
+        )
+        return 2
+
+    violated = False
+    report: _t.Dict[str, _t.Any] = {
+        "workload": args.workload,
+        "clients": args.clients,
+        "seed": args.seed,
+        "duration": args.duration,
+        "slo": spec.describe() if spec is not None else None,
+        "faults": args.faults or None,
+        "shards": args.shards,
+        "systems": {},
+    }
+    for system in systems:
+        obs = Instrumentation()
+        config_kw: _t.Dict[str, _t.Any] = {}
+        if args.shards > 1:
+            config_kw["shards"] = args.shards
+        if fault_spec is not None:
+            from repro.net.rpc import RetryPolicy
+
+            config_kw["retry"] = RetryPolicy()
+        cluster = build_cluster(
+            system, num_clients=args.clients, seed=args.seed, obs=obs,
+            **config_kw,
+        )
+        injector = None
+        if fault_spec is not None:
+            from repro.faults import FaultInjector
+
+            injector = FaultInjector(cluster, fault_spec)
+        result = cluster.run_workload(
+            WORKLOADS[args.workload](), duration=args.duration
+        )
+        if injector is not None:
+            injector.stop()
+        _settle(cluster)
+
+        breakdowns = decompose_updates(obs.tracer)
+        timeline = Timeline.build(result.metrics, obs.tracer, breakdowns)
+        excused = timeline.fault_window_indexes
+        verdicts = (
+            spec.evaluate(result.metrics, excused)
+            if spec is not None
+            else []
+        )
+        if any(not r.passed for r in verdicts):
+            violated = True
+
+        entry: _t.Dict[str, _t.Any] = {
+            "result": _result_dict(result),
+            "per_op": {
+                op: result.latency(op).as_dict()
+                for op in result.metrics.op_types()
+            },
+            "excused_windows": sorted(excused),
+            "slo": [r.as_dict() for r in verdicts],
+            "critical_path_updates": len(breakdowns),
+            "timeline": timeline.as_dicts(),
+        }
+        if injector is not None:
+            entry["fault_summary"] = injector.summary()
+        report["systems"][system] = entry
+
+        if not args.json:
+            tails = Table(
+                ["op", "n", "p50", "p99", "p999", "max"],
+                title=f"{system} / {args.workload}: op latency tails",
+            )
+            for op in result.metrics.op_types():
+                stats = result.latency(op)
+                tails.add_row(
+                    op,
+                    stats.count,
+                    fmt_time(stats.p50),
+                    fmt_time(stats.p99),
+                    fmt_time(stats.p999),
+                    fmt_time(stats.max),
+                )
+            tails.print()
+            per_shard = result.extras.get("mds_per_shard")
+            if per_shard:
+                shard_table = Table(
+                    ["shard", "svc_p50", "svc_p99", "svc_p999"],
+                    title=f"{system}: metadata shard service tails",
+                )
+                for row in per_shard:
+                    shard_table.add_row(
+                        row["shard"],
+                        fmt_time(row["svc_p50"]),
+                        fmt_time(row["svc_p99"]),
+                        fmt_time(row["svc_p999"]),
+                    )
+                shard_table.print()
+            if breakdowns:
+                critical_path_table(
+                    breakdowns,
+                    title=f"{system}: critical path, slowest decile "
+                    "vs median cohort",
+                ).print()
+            if spec is not None:
+                slo_table(
+                    verdicts,
+                    title=f"SLO: {system}",
+                    excused_windows=len(excused),
+                ).print()
+            if args.timeline:
+                timeline.table(title=f"{system} timeline").print()
+        if args.trace:
+            path = (
+                _trace_path(args.trace, system)
+                if len(systems) > 1
+                else args.trace
+            )
+            count = write_chrome_trace(
+                obs.tracer,
+                path,
+                extra_events=timeline_counter_events(timeline),
+            )
+            print(
+                f"wrote {count} trace events (incl. SLO counter "
+                f"tracks) to {path}",
+                file=sys.stderr,
+            )
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+        print(f"wrote SLO report to {args.out}", file=sys.stderr)
+    return 1 if violated else 0
 
 
 def _load_harness() -> _t.Any:
@@ -657,6 +932,15 @@ def build_parser() -> argparse.ArgumentParser:
         "'loss=0.05,mds_restart@0.5:0.2,client_death=2@0.8'",
     )
     p_run.add_argument(
+        "--slo",
+        metavar="SPEC",
+        default=None,
+        help="judge the run against SLO rules "
+        "('[op:]metric<=seconds', comma-separated, e.g. "
+        "'write:p99<=0.05,*:p999<=0.5'); exit nonzero on violation. "
+        "With --trace, fault-active windows are excused",
+    )
+    p_run.add_argument(
         "--check",
         action="store_true",
         help="after the run (and settling), run fsck + the full "
@@ -675,7 +959,66 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="record one causal trace per system (name suffixed)",
     )
+    p_cmp.add_argument(
+        "--slo",
+        metavar="SPEC",
+        default=None,
+        help="judge every system against SLO rules; exit nonzero if "
+        "any system violates (see `run --slo`)",
+    )
     p_cmp.set_defaults(func=cmd_compare)
+
+    p_slo = sub.add_parser(
+        "slo",
+        help="tail-latency report: per-op quantiles, SLO verdicts, "
+        "critical-path breakdown, fault-annotated timeline",
+    )
+    common(p_slo)
+    p_slo.add_argument(
+        "--systems",
+        default="redbud-delayed,nfs3",
+        help="comma-separated systems to run (default %(default)s)",
+    )
+    p_slo.add_argument(
+        "--slo",
+        metavar="SPEC",
+        default=None,
+        help="SLO rules '[op:]metric<=seconds' (comma-separated); "
+        "metrics: p50 p90 p95 p99 p999 mean max; omit to report "
+        "tails without verdicts",
+    )
+    p_slo.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="metadata shards (redbud systems only)",
+    )
+    p_slo.add_argument(
+        "--faults",
+        metavar="SPEC",
+        default=None,
+        help="inject faults (redbud systems only; same clauses as "
+        "`run --faults`); fault-active windows are excused from "
+        "SLO evaluation",
+    )
+    p_slo.add_argument(
+        "--timeline",
+        action="store_true",
+        help="print the windowed telemetry timeline",
+    )
+    p_slo.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="write a Perfetto trace with SLO counter tracks "
+        "(name suffixed per system when several run)",
+    )
+    p_slo.add_argument(
+        "--json", action="store_true", help="print the report as JSON"
+    )
+    p_slo.add_argument(
+        "--out", metavar="PATH", help="also write the JSON report here"
+    )
+    p_slo.set_defaults(func=cmd_slo)
 
     p_trace = sub.add_parser(
         "trace", help="run with causal tracing and export span trees"

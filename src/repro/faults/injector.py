@@ -219,6 +219,14 @@ class FaultInjector:
         env = self.cluster.env
         yield env.timeout(max(0.0, restart.at - env.now))
         self.stats.mds_restarts += 1
+        # The server emits point instants (mds_crash/mds_restart); this
+        # ranged marker carries ``until`` so the SLO timeline can excuse
+        # the whole downtime window (tracked nemesis, ROADMAP 4b).
+        self._instant(
+            "mds_restart_begin",
+            shard=restart.shard,
+            until=env.now + restart.downtime,
+        )
         self.cluster.metadata.crash(shard=restart.shard)
         yield env.timeout(restart.downtime)
         self.cluster.metadata.restart(shard=restart.shard)

@@ -164,6 +164,15 @@ class BaseCluster:
         metrics = OpMetrics()
         for ctx in contexts:
             metrics.merge_from(ctx.metrics)
+        if self.obs is not None:
+            # Publish the per-op end-to-end latency histograms into the
+            # registry so ``repro stats`` (and the SLO layer) read tails
+            # straight from a snapshot.  Pure bookkeeping: merging
+            # bucket counts schedules nothing and consumes no RNG.
+            for op in metrics.op_types():
+                self.obs.registry.histogram(
+                    f"slo.latency.{op}"
+                ).merge_from(metrics.histogram(op))
         return RunResult(
             system=self.system_name,
             workload=workload.name,

@@ -114,6 +114,14 @@ class MetadataServer:
         self.ops_processed = 0
         self.stale_commits = 0
         self.busy_time = 0.0
+        #: Per-request service-time quantile histogram (receive ->
+        #: reply, seconds).  Always on -- pure bookkeeping, like
+        #: ``busy_time`` -- so per-shard tails are reportable without
+        #: arming the tracer; adopted into the metrics registry when an
+        #: observability bundle is attached.
+        from repro.obs.registry import Histogram
+
+        self.service_hist = Histogram("mds.service_time")
         #: True between :meth:`crash` and :meth:`restart`.
         self.down = False
         self.restarts = 0
@@ -263,6 +271,7 @@ class MetadataServer:
             self.requests_processed += 1
             self.ops_processed += ops
             self.busy_time += self.env.now - start
+            self.service_hist.observe(self.env.now - start)
             if handle_span is not None:
                 self.obs.tracer.end(handle_span)
             downlink = self.downlinks[message.client_id]

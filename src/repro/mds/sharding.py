@@ -305,6 +305,12 @@ class ShardedMetadataService:
                 "mds_restarts": server.restarts,
                 "files": len(server.namespace),
                 "free_bytes": server.space.free_bytes,
+                # Service-time tails (seconds) from the shard's own
+                # log-bucketed histogram -- the per-shard view the SLO
+                # layer reports (DESIGN §12).
+                "svc_p50": server.service_hist.quantile(0.50),
+                "svc_p99": server.service_hist.quantile(0.99),
+                "svc_p999": server.service_hist.quantile(0.999),
             }
             for index, server in enumerate(self.servers)
         ]

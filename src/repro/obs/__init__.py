@@ -36,6 +36,20 @@ from repro.obs.instrument import (
     register_redbud_gauges,
 )
 from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.slo import (
+    STAGES,
+    SloResult,
+    SloRule,
+    SloSpec,
+    Timeline,
+    TimelineWindow,
+    UpdateBreakdown,
+    critical_path_table,
+    decompose_updates,
+    excused_histogram,
+    slo_table,
+    timeline_counter_events,
+)
 from repro.obs.tracer import (
     CHAIN_STAGES,
     Span,
@@ -47,20 +61,32 @@ from repro.obs.tracer import (
 
 __all__ = [
     "CHAIN_STAGES",
+    "STAGES",
     "Counter",
     "EngineProbe",
     "Gauge",
     "Histogram",
     "Instrumentation",
     "MetricsRegistry",
+    "SloResult",
+    "SloRule",
+    "SloSpec",
     "Span",
+    "Timeline",
+    "TimelineWindow",
     "TraceEvent",
     "Tracer",
+    "UpdateBreakdown",
     "complete_chains",
+    "critical_path_table",
+    "decompose_updates",
+    "excused_histogram",
     "load_chrome_trace",
     "read_jsonl",
     "register_redbud_gauges",
+    "slo_table",
     "stats_table",
+    "timeline_counter_events",
     "to_chrome_trace",
     "to_jsonl_records",
     "trace_summary",

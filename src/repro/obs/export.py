@@ -89,13 +89,18 @@ def read_jsonl(path: str) -> _t.List[_t.Dict[str, _t.Any]]:
 _US = 1e6
 
 
-def to_chrome_trace(tracer: Tracer) -> _t.Dict[str, _t.Any]:
+def to_chrome_trace(
+    tracer: Tracer,
+    extra_events: _t.Optional[_t.Sequence[_t.Dict[str, _t.Any]]] = None,
+) -> _t.Dict[str, _t.Any]:
     """Build a Chrome ``trace_event`` JSON object (Perfetto-loadable).
 
     Nodes map to processes and actors to threads; durations use complete
     events (``ph: "X"``) and instants use ``ph: "i"``.  Update ids ride
     in ``args.update_ids`` so a span's causal chain can be followed by
-    searching the id in the UI.
+    searching the id in the UI.  ``extra_events`` are appended verbatim
+    -- e.g. the SLO timeline's counter tracks
+    (:func:`repro.obs.slo.timeline_counter_events`).
     """
     pids: _t.Dict[str, int] = {}
     tids: _t.Dict[_t.Tuple[str, str], int] = {}
@@ -164,6 +169,8 @@ def to_chrome_trace(tracer: Tracer) -> _t.Dict[str, _t.Any]:
                 "args": args,
             }
         )
+    if extra_events:
+        events.extend(extra_events)
     return {
         "traceEvents": events,
         "displayTimeUnit": "ms",
@@ -171,9 +178,13 @@ def to_chrome_trace(tracer: Tracer) -> _t.Dict[str, _t.Any]:
     }
 
 
-def write_chrome_trace(tracer: Tracer, path: str) -> int:
+def write_chrome_trace(
+    tracer: Tracer,
+    path: str,
+    extra_events: _t.Optional[_t.Sequence[_t.Dict[str, _t.Any]]] = None,
+) -> int:
     """Write a Chrome trace JSON file; returns the event count."""
-    trace = to_chrome_trace(tracer)
+    trace = to_chrome_trace(tracer, extra_events=extra_events)
     with open(path, "w") as fh:
         json.dump(trace, fh)
     return len(trace["traceEvents"])

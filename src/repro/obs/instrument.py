@@ -155,6 +155,10 @@ def register_redbud_gauges(obs: Instrumentation, cluster: _t.Any) -> None:
                 f"mds.shard{k}.ops_processed",
                 lambda s=server: s.ops_processed,
             )
+            server.service_hist.name = f"mds.shard{k}.service_time"
+            reg.adopt(server.service_hist)
+    else:
+        reg.adopt(metadata.shard(0).service_hist)
     reg.gauge("array.utilization", lambda: cluster.array.utilization)
     reg.gauge("array.ops_served", lambda: cluster.array.ops_served)
     reg.gauge("array.bytes_served", lambda: cluster.array.bytes_served)

@@ -13,6 +13,7 @@ locks, no effect on simulation ordering.
 
 from __future__ import annotations
 
+import math
 import typing as _t
 
 
@@ -58,17 +59,41 @@ class Gauge:
 
 
 class Histogram:
-    """Summary of observed values: count, sum, min, max, mean.
+    """Bounded-memory summary of observed values with tail quantiles.
+
+    Beyond count/sum/min/max, every observation lands in a log-spaced
+    (HDR-style) bucket: bucket ``i`` covers ``[GROWTH**i, GROWTH**(i+1))``
+    and a quantile is reported at the geometric midpoint of its bucket,
+    so any estimate is within ``sqrt(GROWTH) - 1`` (< 1%) of the exact
+    order statistic at that rank -- with O(buckets) memory however long
+    the run.  Bucket counts merge associatively across histograms
+    (:meth:`merge_from`), which is what lets per-shard and per-window
+    histograms aggregate without re-observing samples.
 
     Additionally keeps exact counts for small non-negative integer
     observations (compound degrees, queue depths) in ``int_counts`` --
     the Fig. 7 degree histogram without a binning policy to argue about.
+    ``bool`` observations are excluded from ``int_counts``: ``True`` is
+    an ``int`` to ``isinstance``, but counting it under key ``1`` would
+    pollute the exact-integer histogram.
     """
 
-    __slots__ = ("name", "count", "total", "min", "max", "int_counts")
+    __slots__ = (
+        "name", "count", "total", "min", "max", "int_counts",
+        "zero_count", "buckets",
+    )
 
     #: Integer observations up to this value are counted exactly.
     _INT_LIMIT = 1024
+    #: Log-bucket growth factor.  Each bucket spans a 2% value range;
+    #: reporting a quantile at the bucket's geometric midpoint bounds
+    #: the relative error at sqrt(GROWTH) - 1 ~= 0.995%.
+    GROWTH = 1.02
+    _LOG_GROWTH = math.log(GROWTH)
+    #: Observations below this magnitude count as exact zeros (the
+    #: log-bucket index would otherwise diverge).  Virtual-time
+    #: latencies of cache hits really are 0.0.
+    TINY = 1e-12
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -77,6 +102,10 @@ class Histogram:
         self.min: _t.Optional[float] = None
         self.max: _t.Optional[float] = None
         self.int_counts: _t.Dict[int, int] = {}
+        #: Observations in [0, TINY) -- an exact "zero" bucket.
+        self.zero_count = 0
+        #: Log-bucket index -> count of observations in that bucket.
+        self.buckets: _t.Dict[int, int] = {}
 
     def observe(self, value: float) -> None:
         self.count += 1
@@ -85,16 +114,67 @@ class Histogram:
             self.min = value
         if self.max is None or value > self.max:
             self.max = value
+        if value < self.TINY:
+            # Negative values never occur for latencies; they fold into
+            # the zero bucket so quantile ranks stay consistent with
+            # ``count`` either way.
+            self.zero_count += 1
+        else:
+            idx = math.floor(math.log(value) / self._LOG_GROWTH)
+            self.buckets[idx] = self.buckets.get(idx, 0) + 1
         if (
-            isinstance(value, int)
-            or float(value).is_integer()
-        ) and 0 <= value <= self._INT_LIMIT:
+            not isinstance(value, bool)
+            and (isinstance(value, int) or float(value).is_integer())
+            and 0 <= value <= self._INT_LIMIT
+        ):
             key = int(value)
             self.int_counts[key] = self.int_counts.get(key, 0) + 1
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (0 <= q <= 1) from the buckets.
+
+        Returns the geometric midpoint of the bucket holding the
+        ``ceil(q * count)``-th smallest observation, clamped to the
+        observed [min, max] range; exact for the zero bucket and for
+        q=0/q=1 (min/max are tracked exactly).
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        if q == 0.0:
+            return float(self.min)
+        if q == 1.0:
+            return float(self.max)
+        rank = max(1, math.ceil(q * self.count))
+        if rank <= self.zero_count:
+            return 0.0
+        remaining = rank - self.zero_count
+        for idx in sorted(self.buckets):
+            bucket_count = self.buckets[idx]
+            if remaining <= bucket_count:
+                estimate = math.exp((idx + 0.5) * self._LOG_GROWTH)
+                return min(max(estimate, float(self.min)), float(self.max))
+            remaining -= bucket_count
+        return float(self.max)
+
+    def merge_from(self, other: "Histogram") -> None:
+        """Fold another histogram's state into this one (associative)."""
+        self.count += other.count
+        self.total += other.total
+        if other.min is not None and (self.min is None or other.min < self.min):
+            self.min = other.min
+        if other.max is not None and (self.max is None or other.max > self.max):
+            self.max = other.max
+        self.zero_count += other.zero_count
+        for idx, n in other.buckets.items():
+            self.buckets[idx] = self.buckets.get(idx, 0) + n
+        for key, n in other.int_counts.items():
+            self.int_counts[key] = self.int_counts.get(key, 0) + n
 
     def summary(self) -> _t.Dict[str, float]:
         return {
@@ -103,6 +183,10 @@ class Histogram:
             "mean": self.mean,
             "min": self.min if self.min is not None else 0.0,
             "max": self.max if self.max is not None else 0.0,
+            "p50": self.quantile(0.50),
+            "p90": self.quantile(0.90),
+            "p99": self.quantile(0.99),
+            "p999": self.quantile(0.999),
         }
 
 
@@ -143,6 +227,24 @@ class MetricsRegistry:
     def histogram(self, name: str) -> Histogram:
         return self._get_or_create(name, Histogram)
 
+    def adopt(self, metric: Metric) -> Metric:
+        """Register an externally-owned metric object under its name.
+
+        Lets a component publish a histogram it maintains anyway (e.g. a
+        metadata shard's service-time histogram) without double
+        bookkeeping.  Re-adopting the same object is a no-op; a name
+        collision with a different object raises.
+        """
+        existing = self._metrics.get(metric.name)
+        if existing is metric:
+            return metric
+        if existing is not None:
+            raise ValueError(
+                f"metric {metric.name!r} already registered"
+            )
+        self._metrics[metric.name] = metric
+        return metric
+
     def __contains__(self, name: str) -> bool:
         return name in self._metrics
 
@@ -173,6 +275,8 @@ class MetricsRegistry:
             if isinstance(metric, Histogram):
                 value: _t.Any = (
                     f"n={metric.count} mean={metric.mean:.4g} "
+                    f"p50={metric.quantile(0.5):.4g} "
+                    f"p99={metric.quantile(0.99):.4g} "
                     f"min={metric.min or 0:.4g} max={metric.max or 0:.4g}"
                 )
                 rows.append((name, "histogram", value))

@@ -1,0 +1,694 @@
+"""Tail-latency SLOs: quantile evaluation, critical-path attribution,
+and a time-windowed telemetry timeline.
+
+The paper's argument is about latency *removed from the critical path*;
+this module is where the reproduction judges that claim the way
+production systems are judged -- on tails, not means (ROADMAP 4c).
+Three pieces on top of the PR 1 substrate:
+
+**SLO specs** (:class:`SloSpec`) -- a tiny declarative language,
+``write:p99<=0.05,*:p999<=0.5``: per op-type (or ``*`` for all ops
+pooled) bounds on a latency statistic.  Rules evaluate against the
+log-bucketed histograms in :class:`repro.analysis.metrics.OpMetrics`,
+so every quantile carries the documented < 1% relative-error bound.
+
+**Critical-path attribution** (:func:`decompose_updates`) -- for every
+update with a complete causal chain (:func:`~repro.obs.tracer.
+complete_chains`), the end-to-end pipeline latency is decomposed into
+*exclusive* per-stage time by interval subtraction, deepest stage
+first: ``disk`` > ``mds_service`` > ``rpc`` > ``compound_assembly`` >
+``dedup_merge`` > ``queue_wait``; whatever no stage claims is
+``client_other``.  "Exclusive" means a second spent both inside the
+commit RPC and on a spindle is charged to the spindle only, so the
+stage columns of one update sum to its end-to-end latency exactly.
+:func:`critical_path_table` then contrasts where the slowest decile
+spends its time against the median cohort -- the "where do the p99 ops
+go" table.
+
+**Timeline** (:class:`Timeline`) -- fixed-width virtual-time windows
+(:attr:`OpMetrics.window`) of throughput, latency quantiles, commit
+queue depth, dedup merge ratio, and per-stage time, each annotated
+*fault-active* from the injector's ``cat="fault"`` trace events (the
+tracked-nemesis idea, ROADMAP 4b).  A point fault marks its own
+window; a fault carrying ``until`` in its args (partitions, MDS
+downtime) marks the whole range.  SLO evaluation can then *excuse*
+fault-active windows: the excused value re-aggregates only the clean
+windows' histograms (bucket merges are associative), separating "the
+protocol is slow" from "the nemesis was biting".
+
+Everything here is a *pure read* of already-recorded state: building
+timelines or evaluating SLOs schedules no events and consumes no RNG,
+so the zero-perturbation contract of :mod:`repro.obs` holds.
+"""
+
+from __future__ import annotations
+
+import math
+import typing as _t
+from dataclasses import dataclass, field
+
+from repro.analysis.report import Table
+from repro.obs.registry import Histogram
+from repro.obs.tracer import Tracer, complete_chains
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.analysis.metrics import OpMetrics
+
+__all__ = [
+    "STAGES",
+    "SloRule",
+    "SloResult",
+    "SloSpec",
+    "Timeline",
+    "TimelineWindow",
+    "UpdateBreakdown",
+    "critical_path_table",
+    "decompose_updates",
+    "excused_histogram",
+    "slo_table",
+    "timeline_counter_events",
+]
+
+
+# -- exclusive-stage decomposition -------------------------------------------
+
+#: Attribution priority, deepest stage first.  A time slice covered by
+#: several stages is charged to the deepest; ``client_other`` is the
+#: remainder no stage claims (writeback, local queueing, app think).
+STAGE_PRIORITY: _t.Tuple[str, ...] = (
+    "disk",
+    "mds_service",
+    "rpc",
+    "compound_assembly",
+    "dedup_merge",
+    "queue_wait",
+)
+
+#: All stage columns of a breakdown, in report order.
+STAGES: _t.Tuple[str, ...] = STAGE_PRIORITY + ("client_other",)
+
+_Interval = _t.Tuple[float, float]
+
+
+def _union(intervals: _t.List[_Interval]) -> _t.List[_Interval]:
+    """Coalesce intervals into a sorted, disjoint union."""
+    out: _t.List[_Interval] = []
+    for lo, hi in sorted(i for i in intervals if i[1] > i[0]):
+        if out and lo <= out[-1][1]:
+            if hi > out[-1][1]:
+                out[-1] = (out[-1][0], hi)
+        else:
+            out.append((lo, hi))
+    return out
+
+
+def _subtract(
+    intervals: _t.List[_Interval], cover: _t.List[_Interval]
+) -> _t.List[_Interval]:
+    """``intervals`` minus the (disjoint, sorted) ``cover`` union."""
+    out: _t.List[_Interval] = []
+    for lo, hi in _union(intervals):
+        cursor = lo
+        for clo, chi in cover:
+            if chi <= cursor:
+                continue
+            if clo >= hi:
+                break
+            if clo > cursor:
+                out.append((cursor, clo))
+            cursor = max(cursor, chi)
+            if cursor >= hi:
+                break
+        if cursor < hi:
+            out.append((cursor, hi))
+    return out
+
+
+def _length(intervals: _t.List[_Interval]) -> float:
+    return sum(hi - lo for lo, hi in intervals)
+
+
+@dataclass
+class UpdateBreakdown:
+    """One update's end-to-end latency split into exclusive stage time."""
+
+    update_id: int
+    start: float
+    end: float
+    #: End-to-end pipeline latency (write issued -> final disk dispatch).
+    total: float
+    #: Exclusive seconds per stage; keys are :data:`STAGES`, values sum
+    #: to ``total`` (within float rounding).
+    stages: _t.Dict[str, float] = field(default_factory=dict)
+
+
+def decompose_updates(tracer: Tracer) -> _t.List[UpdateBreakdown]:
+    """Critical-path attribution over every complete causal chain.
+
+    Only updates whose enqueue -> dispatch chain completed are
+    decomposed (an in-flight update has no end-to-end latency yet).
+    Returns breakdowns in update-id order.
+    """
+    by_uid: _t.Dict[int, _t.Dict[str, _t.List[_Interval]]] = {}
+    for span in tracer.spans:
+        if not span.finished:
+            continue
+        for uid in span.update_ids:
+            by_uid.setdefault(uid, {}).setdefault(span.name, []).append(
+                (span.start, span.end)
+            )
+    merge_at: _t.Dict[int, float] = {}
+    for event in tracer.events_named("commit_merge"):
+        uid = event.args.get("merged_update")
+        if uid is not None and uid not in merge_at:
+            merge_at[uid] = event.time
+    checkout_at: _t.Dict[int, float] = {}
+    for event in tracer.events_named("commit_checkout"):
+        for uid in event.update_ids:
+            if uid not in checkout_at:
+                checkout_at[uid] = event.time
+
+    breakdowns: _t.List[UpdateBreakdown] = []
+    for uid in complete_chains(tracer):
+        spans = by_uid.get(uid)
+        if not spans:
+            continue
+        t0 = min(lo for ivs in spans.values() for lo, _ in ivs)
+        t1 = max(hi for ivs in spans.values() for _, hi in ivs)
+        if t1 <= t0:
+            continue
+
+        raw: _t.Dict[str, _t.List[_Interval]] = {
+            "disk": spans.get("disk_dispatch", []),
+            "mds_service": spans.get("mds_handle", []),
+            "rpc": spans.get("rpc:commit", []),
+        }
+        # Compound assembly: the checked-out record sits with the commit
+        # daemon between queue checkout and the commit RPC going out.
+        rpc_starts = sorted(lo for lo, _ in raw["rpc"])
+        if uid in checkout_at and rpc_starts:
+            co = checkout_at[uid]
+            send = next((s for s in rpc_starts if s >= co), None)
+            if send is not None and send > co:
+                raw["compound_assembly"] = [(co, send)]
+        # Dedup merge: a merged update rides the resident record from
+        # the merge instant to the shared queue span's end.
+        queue = spans.get("commit_queued", [])
+        if uid in merge_at and queue:
+            queue_end = max(hi for _, hi in queue)
+            if queue_end > merge_at[uid]:
+                raw["dedup_merge"] = [(merge_at[uid], queue_end)]
+        raw["queue_wait"] = queue
+
+        claimed: _t.List[_Interval] = []
+        stage_time: _t.Dict[str, float] = {}
+        for stage in STAGE_PRIORITY:
+            intervals = _union(raw.get(stage, []))
+            stage_time[stage] = _length(_subtract(intervals, claimed))
+            claimed = _union(claimed + intervals)
+        stage_time["client_other"] = (t1 - t0) - _length(claimed)
+        breakdowns.append(
+            UpdateBreakdown(
+                update_id=uid,
+                start=t0,
+                end=t1,
+                total=t1 - t0,
+                stages=stage_time,
+            )
+        )
+    return breakdowns
+
+
+def critical_path_table(
+    breakdowns: _t.Sequence[UpdateBreakdown],
+    title: str = "critical path: slowest decile vs median cohort",
+) -> Table:
+    """Mean exclusive stage time, median cohort vs the slowest decile.
+
+    The median cohort is the middle quintile by end-to-end latency; the
+    tail cohort is the slowest decile (ceil(n/10), at least one).  The
+    ``share`` column is each stage's fraction of the tail cohort's
+    end-to-end time -- the "where do the p99 ops go" answer.
+    """
+    table = Table(
+        ["stage", "median ms", "p90+ ms", "tail share"], title=title
+    )
+    if not breakdowns:
+        return table
+    ordered = sorted(breakdowns, key=lambda b: b.total)
+    n = len(ordered)
+    mid_lo, mid_hi = (2 * n) // 5, max((3 * n) // 5, (2 * n) // 5 + 1)
+    median_cohort = ordered[mid_lo:mid_hi]
+    tail_cohort = ordered[n - max(1, math.ceil(n / 10)):]
+
+    def mean_stage(cohort: _t.Sequence[UpdateBreakdown], stage: str) -> float:
+        return sum(b.stages.get(stage, 0.0) for b in cohort) / len(cohort)
+
+    tail_total = sum(b.total for b in tail_cohort) / len(tail_cohort)
+    for stage in STAGES:
+        tail_mean = mean_stage(tail_cohort, stage)
+        table.add_row(
+            stage,
+            f"{1000.0 * mean_stage(median_cohort, stage):.4f}",
+            f"{1000.0 * tail_mean:.4f}",
+            f"{tail_mean / tail_total:.1%}" if tail_total > 0 else "-",
+        )
+    table.add_row(
+        "total",
+        f"{1000.0 * sum(b.total for b in median_cohort) / len(median_cohort):.4f}",
+        f"{1000.0 * tail_total:.4f}",
+        "100.0%",
+    )
+    return table
+
+
+# -- the windowed timeline ---------------------------------------------------
+
+
+@dataclass
+class TimelineWindow:
+    """One fixed-width virtual-time window of telemetry."""
+
+    index: int
+    start: float
+    end: float
+    ops: int = 0
+    throughput: float = 0.0
+    p50: float = 0.0
+    p99: float = 0.0
+    p999: float = 0.0
+    #: Peak number of simultaneously-open commit-queue records.
+    queue_depth: int = 0
+    enqueues: int = 0
+    merges: int = 0
+    fault_active: bool = False
+    #: Names of the fault events live in this window.
+    faults: _t.Tuple[str, ...] = ()
+    #: Exclusive stage seconds of the updates *completing* here.
+    stage_seconds: _t.Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def merge_ratio(self) -> float:
+        inserts = self.enqueues + self.merges
+        return self.merges / inserts if inserts else 0.0
+
+
+class Timeline:
+    """Windowed telemetry assembled from metrics + trace, post-run."""
+
+    def __init__(self, window: float, windows: _t.List[TimelineWindow]):
+        self.window = window
+        self.windows = windows
+
+    @property
+    def fault_window_indexes(self) -> _t.FrozenSet[int]:
+        return frozenset(
+            w.index for w in self.windows if w.fault_active
+        )
+
+    @classmethod
+    def build(
+        cls,
+        metrics: "OpMetrics",
+        tracer: _t.Optional[Tracer] = None,
+        breakdowns: _t.Optional[_t.Sequence[UpdateBreakdown]] = None,
+    ) -> "Timeline":
+        width = metrics.window
+        whists = dict(metrics.window_histograms())
+
+        fault_points: _t.Dict[int, _t.Set[str]] = {}
+        fault_ranges: _t.List[_t.Tuple[int, float, str]] = []
+        queue_edges: _t.List[_t.Tuple[float, int]] = []
+        merges: _t.Dict[int, int] = {}
+        enqueues: _t.Dict[int, int] = {}
+        if tracer is not None:
+            for event in tracer.events:
+                if event.cat == "fault":
+                    wi = int(event.time / width)
+                    until = event.args.get("until")
+                    if until is not None and until > event.time:
+                        fault_ranges.append((wi, until, event.name))
+                    else:
+                        fault_points.setdefault(wi, set()).add(event.name)
+                elif event.name == "commit_merge":
+                    merges[int(event.time / width)] = (
+                        merges.get(int(event.time / width), 0) + 1
+                    )
+            for span in tracer.spans:
+                if span.name != "commit_queued":
+                    continue
+                wi = int(span.start / width)
+                enqueues[wi] = enqueues.get(wi, 0) + 1
+                queue_edges.append((span.start, 1))
+                queue_edges.append(
+                    (span.end if span.end is not None else math.inf, -1)
+                )
+            queue_edges.sort()
+
+        stage_by_window: _t.Dict[int, _t.Dict[str, float]] = {}
+        for b in breakdowns or ():
+            acc = stage_by_window.setdefault(int(b.end / width), {})
+            for stage, secs in b.stages.items():
+                acc[stage] = acc.get(stage, 0.0) + secs
+
+        indexes: _t.Set[int] = set(whists)
+        indexes.update(fault_points)
+        indexes.update(merges)
+        indexes.update(enqueues)
+        indexes.update(stage_by_window)
+        indexes.update(wi for wi, _, _ in fault_ranges)
+        if not indexes:
+            return cls(width, [])
+        lo, hi = min(indexes), max(indexes)
+        # A ranged fault (partition, MDS downtime) extends the fault
+        # annotation but never the timeline past the last data window.
+        for wi, until, name in fault_ranges:
+            for k in range(wi, min(int(until / width), hi) + 1):
+                fault_points.setdefault(k, set()).add(name)
+
+        windows: _t.List[TimelineWindow] = []
+        edge_i = 0
+        depth = 0
+        for index in range(lo, hi + 1):
+            ws, we = index * width, (index + 1) * width
+            # Drain queue edges before this window (depth carries over).
+            while edge_i < len(queue_edges) and queue_edges[edge_i][0] < ws:
+                depth += queue_edges[edge_i][1]
+                edge_i += 1
+            peak = depth
+            while edge_i < len(queue_edges) and queue_edges[edge_i][0] < we:
+                depth += queue_edges[edge_i][1]
+                peak = max(peak, depth)
+                edge_i += 1
+            pooled = Histogram("window")
+            for hist in whists.get(index, {}).values():
+                pooled.merge_from(hist)
+            faults = tuple(sorted(fault_points.get(index, ())))
+            windows.append(
+                TimelineWindow(
+                    index=index,
+                    start=ws,
+                    end=we,
+                    ops=pooled.count,
+                    throughput=pooled.count / width,
+                    p50=pooled.quantile(0.50),
+                    p99=pooled.quantile(0.99),
+                    p999=pooled.quantile(0.999),
+                    queue_depth=peak,
+                    enqueues=enqueues.get(index, 0),
+                    merges=merges.get(index, 0),
+                    fault_active=bool(faults),
+                    faults=faults,
+                    stage_seconds=stage_by_window.get(index, {}),
+                )
+            )
+        return cls(width, windows)
+
+    def table(self, title: str = "timeline") -> Table:
+        table = Table(
+            [
+                "t", "ops", "ops/s", "p50 ms", "p99 ms", "p999 ms",
+                "qdepth", "merge%", "faults",
+            ],
+            title=f"{title} ({self.window:g}s windows)",
+        )
+        for w in self.windows:
+            table.add_row(
+                f"{w.start:.2f}",
+                w.ops,
+                f"{w.throughput:.0f}",
+                f"{1000.0 * w.p50:.3f}",
+                f"{1000.0 * w.p99:.3f}",
+                f"{1000.0 * w.p999:.3f}",
+                w.queue_depth,
+                f"{100.0 * w.merge_ratio:.0f}",
+                ",".join(w.faults) if w.faults else "-",
+            )
+        return table
+
+    def as_dicts(self) -> _t.List[_t.Dict[str, _t.Any]]:
+        return [
+            {
+                "index": w.index,
+                "start": w.start,
+                "end": w.end,
+                "ops": w.ops,
+                "throughput": w.throughput,
+                "p50": w.p50,
+                "p99": w.p99,
+                "p999": w.p999,
+                "queue_depth": w.queue_depth,
+                "merge_ratio": w.merge_ratio,
+                "fault_active": w.fault_active,
+                "faults": list(w.faults),
+                "stage_seconds": dict(w.stage_seconds),
+            }
+            for w in self.windows
+        ]
+
+
+def timeline_counter_events(
+    timeline: Timeline, pid: int = 9999
+) -> _t.List[_t.Dict[str, _t.Any]]:
+    """Chrome ``ph: "C"`` counter-track events for a Perfetto trace.
+
+    Pass the result as ``extra_events`` to
+    :func:`repro.obs.export.to_chrome_trace` /
+    :func:`~repro.obs.export.write_chrome_trace`; Perfetto renders each
+    counter name as a track under the ``slo-timeline`` process.
+    """
+    events: _t.List[_t.Dict[str, _t.Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": "slo-timeline"},
+        }
+    ]
+    us = 1e6
+    for w in timeline.windows:
+        ts = w.start * us
+
+        def counter(name: str, series: _t.Dict[str, float]) -> None:
+            events.append(
+                {
+                    "name": name,
+                    "cat": "slo",
+                    "ph": "C",
+                    "ts": ts,
+                    "pid": pid,
+                    "tid": 0,
+                    "args": series,
+                }
+            )
+
+        counter("slo.throughput", {"ops_per_s": w.throughput})
+        counter(
+            "slo.latency_ms",
+            {
+                "p50": 1000.0 * w.p50,
+                "p99": 1000.0 * w.p99,
+                "p999": 1000.0 * w.p999,
+            },
+        )
+        counter("slo.queue_depth", {"records": w.queue_depth})
+        counter("slo.merge_ratio", {"ratio": w.merge_ratio})
+        counter("slo.fault_active", {"active": 1 if w.fault_active else 0})
+        if w.stage_seconds:
+            counter(
+                "slo.stage_ms",
+                {
+                    stage: 1000.0 * w.stage_seconds.get(stage, 0.0)
+                    for stage in STAGES
+                },
+            )
+    return events
+
+
+# -- SLO specs and evaluation ------------------------------------------------
+
+#: Statistics an SLO rule may bound, name -> reader over a histogram.
+SLO_METRICS: _t.Dict[str, _t.Callable[[Histogram], float]] = {
+    "p50": lambda h: h.quantile(0.50),
+    "p90": lambda h: h.quantile(0.90),
+    "p95": lambda h: h.quantile(0.95),
+    "p99": lambda h: h.quantile(0.99),
+    "p999": lambda h: h.quantile(0.999),
+    "mean": lambda h: h.mean,
+    "max": lambda h: float(h.max) if h.max is not None else 0.0,
+}
+
+
+@dataclass(frozen=True)
+class SloRule:
+    """One bound: ``op:metric<=threshold`` (op ``*`` pools all types)."""
+
+    op: str
+    metric: str
+    threshold: float
+
+    def describe(self) -> str:
+        return f"{self.op}:{self.metric}<={self.threshold:g}"
+
+
+@dataclass(frozen=True)
+class SloResult:
+    """One rule's verdict against one run."""
+
+    rule: SloRule
+    #: The statistic over every window.
+    value: float
+    #: The statistic over fault-free windows only.
+    excused_value: float
+    count: int
+    excused_count: int
+    #: Judged on the excused value: a system is not in breach for
+    #: windows where the nemesis was biting.
+    passed: bool
+
+    def as_dict(self) -> _t.Dict[str, _t.Any]:
+        return {
+            "rule": self.rule.describe(),
+            "op": self.rule.op,
+            "metric": self.rule.metric,
+            "threshold": self.rule.threshold,
+            "value": self.value,
+            "excused_value": self.excused_value,
+            "count": self.count,
+            "excused_count": self.excused_count,
+            "passed": self.passed,
+        }
+
+
+class SloSpec:
+    """A parsed set of SLO rules.
+
+    Grammar: comma-separated ``[op:]metric<=seconds``; ``op`` defaults
+    to ``*`` (all op types pooled).  Example::
+
+        write:p99<=0.05,write:p999<=0.2,*:mean<=0.01
+    """
+
+    def __init__(self, rules: _t.Sequence[SloRule]) -> None:
+        self.rules = tuple(rules)
+
+    @classmethod
+    def parse(cls, text: str) -> "SloSpec":
+        rules: _t.List[SloRule] = []
+        for clause in text.split(","):
+            clause = clause.strip()
+            if not clause:
+                continue
+            if "<=" not in clause:
+                raise ValueError(
+                    f"bad SLO clause {clause!r}: expected "
+                    "'[op:]metric<=seconds'"
+                )
+            lhs, _, rhs = clause.partition("<=")
+            try:
+                threshold = float(rhs)
+            except ValueError:
+                raise ValueError(
+                    f"bad SLO threshold {rhs!r} in {clause!r}"
+                ) from None
+            if threshold < 0:
+                raise ValueError(f"negative SLO threshold in {clause!r}")
+            op, sep, metric = lhs.rpartition(":")
+            if not sep:
+                op = "*"
+            metric = metric.strip()
+            if metric not in SLO_METRICS:
+                raise ValueError(
+                    f"unknown SLO metric {metric!r} in {clause!r}; "
+                    f"choose from {sorted(SLO_METRICS)}"
+                )
+            rules.append(SloRule(op=op.strip() or "*", metric=metric,
+                                 threshold=threshold))
+        if not rules:
+            raise ValueError(f"empty SLO spec {text!r}")
+        return cls(rules)
+
+    def describe(self) -> str:
+        return ",".join(rule.describe() for rule in self.rules)
+
+    def evaluate(
+        self,
+        metrics: "OpMetrics",
+        exclude_windows: _t.AbstractSet[int] = frozenset(),
+    ) -> _t.List[SloResult]:
+        """Judge every rule; ``exclude_windows`` are fault-excused."""
+        results: _t.List[SloResult] = []
+        for rule in self.rules:
+            op = None if rule.op == "*" else rule.op
+            full = metrics.histogram(op)
+            excused = (
+                excused_histogram(metrics, op, exclude_windows)
+                if exclude_windows
+                else full
+            )
+            reader = SLO_METRICS[rule.metric]
+            value = reader(full) if full.count else 0.0
+            excused_value = reader(excused) if excused.count else 0.0
+            results.append(
+                SloResult(
+                    rule=rule,
+                    value=value,
+                    excused_value=excused_value,
+                    count=full.count,
+                    excused_count=excused.count,
+                    # No observations means nothing breached the bound
+                    # (the table still shows n=0 for eyeballing).
+                    passed=(
+                        excused.count == 0
+                        or excused_value <= rule.threshold
+                    ),
+                )
+            )
+        return results
+
+
+def excused_histogram(
+    metrics: "OpMetrics",
+    op: _t.Optional[str],
+    exclude_windows: _t.AbstractSet[int],
+) -> Histogram:
+    """Re-aggregate an op's histogram over non-excluded windows only."""
+    pooled = Histogram(op or "all")
+    for index, per_op in metrics.window_histograms():
+        if index in exclude_windows:
+            continue
+        if op is None:
+            for hist in per_op.values():
+                pooled.merge_from(hist)
+        elif op in per_op:
+            pooled.merge_from(per_op[op])
+    return pooled
+
+
+def slo_table(
+    results: _t.Sequence[SloResult],
+    title: str = "SLO",
+    excused_windows: int = 0,
+) -> Table:
+    """Render SLO verdicts (``value`` vs ``excused`` vs threshold)."""
+    suffix = (
+        f" ({excused_windows} fault-active window"
+        f"{'s' if excused_windows != 1 else ''} excused)"
+        if excused_windows
+        else ""
+    )
+    table = Table(
+        ["rule", "n", "value", "excused", "limit", "verdict"],
+        title=title + suffix,
+    )
+    for r in results:
+        table.add_row(
+            r.rule.describe(),
+            r.excused_count,
+            f"{r.value:.6f}",
+            f"{r.excused_value:.6f}",
+            f"{r.rule.threshold:g}",
+            "PASS" if r.passed else "FAIL",
+        )
+    return table

@@ -1,0 +1,172 @@
+"""Log-bucketed quantile histograms: accuracy bound and merge laws.
+
+The documented contract (DESIGN §12): a quantile estimate is the
+geometric midpoint of the bucket holding the ``ceil(q * count)``-th
+smallest observation, so it sits within ``sqrt(GROWTH) - 1`` (< 1%)
+relative error of that *exact order statistic* -- for any sample shape,
+including bimodal sets where interpolating percentiles would be
+meaningless.  Bucket counts must merge associatively, because per-shard
+and per-window histograms aggregate by merging.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.registry import Histogram
+
+#: The documented relative-error bound, plus float fuzz.
+REL_BOUND = math.sqrt(Histogram.GROWTH) - 1 + 1e-9
+
+QUANTILES = (0.01, 0.1, 0.25, 0.5, 0.9, 0.95, 0.99, 0.999, 1.0)
+
+
+def _fill(samples):
+    hist = Histogram("t")
+    for s in samples:
+        hist.observe(float(s))
+    return hist
+
+
+def _exact(samples, q):
+    """The order statistic the histogram documents itself against."""
+    ordered = np.sort(np.asarray(samples, dtype=float))
+    rank = max(1, math.ceil(q * len(ordered)))
+    return float(ordered[rank - 1])
+
+
+def _assert_within_bound(samples):
+    hist = _fill(samples)
+    for q in QUANTILES:
+        exact = _exact(samples, q)
+        est = hist.quantile(q)
+        if exact < Histogram.TINY:
+            assert est == 0.0 or est <= max(samples)
+            continue
+        assert abs(est - exact) <= REL_BOUND * exact, (
+            f"q={q}: estimate {est} vs exact {exact} "
+            f"(rel err {abs(est - exact) / exact:.4%})"
+        )
+
+
+# -- accuracy over random sample shapes --------------------------------------
+
+
+@settings(max_examples=50, deadline=None)
+@given(seed=st.integers(0, 2**32 - 1), n=st.integers(1, 4000))
+def test_uniform_within_bound(seed, n):
+    rng = np.random.default_rng(seed)
+    _assert_within_bound(rng.uniform(1e-6, 10.0, size=n))
+
+
+@settings(max_examples=50, deadline=None)
+@given(seed=st.integers(0, 2**32 - 1), n=st.integers(1, 4000))
+def test_lognormal_within_bound(seed, n):
+    rng = np.random.default_rng(seed)
+    _assert_within_bound(rng.lognormal(mean=-6.0, sigma=2.0, size=n))
+
+
+@settings(max_examples=50, deadline=None)
+@given(seed=st.integers(0, 2**32 - 1), n=st.integers(2, 4000))
+def test_bimodal_within_bound(seed, n):
+    """Fast-path / slow-path mixture: the shape interpolation gets wrong."""
+    rng = np.random.default_rng(seed)
+    fast = rng.uniform(1e-5, 1e-4, size=n // 2 + 1)
+    slow = rng.uniform(0.5, 2.0, size=n - n // 2 - 1 + 1)
+    samples = np.concatenate([fast, slow])[:n]
+    _assert_within_bound(samples)
+
+
+def test_zero_and_tiny_samples():
+    hist = _fill([0.0, 0.0, 0.0, 5e-13, 1.0])
+    assert hist.zero_count == 4
+    assert hist.quantile(0.5) == 0.0
+    assert hist.quantile(1.0) == 1.0
+
+
+def test_extreme_quantiles_are_exact():
+    samples = [0.003, 0.017, 0.4, 1.9]
+    hist = _fill(samples)
+    assert hist.quantile(0.0) == min(samples)
+    assert hist.quantile(1.0) == max(samples)
+    with pytest.raises(ValueError):
+        hist.quantile(1.5)
+
+
+def test_empty_histogram_quantile_is_zero():
+    assert Histogram("e").quantile(0.99) == 0.0
+
+
+# -- merge associativity ------------------------------------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(0, 2**32 - 1),
+    sizes=st.lists(st.integers(0, 500), min_size=2, max_size=5),
+)
+def test_merge_matches_pooled_observation(seed, sizes):
+    """Per-shard histograms merged == one histogram over all samples."""
+    rng = np.random.default_rng(seed)
+    shards = [rng.lognormal(-5.0, 1.5, size=n) for n in sizes]
+    pooled = _fill([s for shard in shards for s in shard])
+    merged = Histogram("m")
+    for shard in shards:
+        merged.merge_from(_fill(shard))
+    assert merged.count == pooled.count
+    assert merged.buckets == pooled.buckets
+    assert merged.zero_count == pooled.zero_count
+    assert merged.int_counts == pooled.int_counts
+    assert merged.min == pooled.min and merged.max == pooled.max
+    assert merged.total == pytest.approx(pooled.total)
+    for q in QUANTILES:
+        assert merged.quantile(q) == pooled.quantile(q)
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 2**32 - 1))
+def test_merge_is_order_independent(seed):
+    rng = np.random.default_rng(seed)
+    parts = [rng.uniform(1e-4, 1.0, size=rng.integers(0, 200))
+             for _ in range(3)]
+    ab_c = Histogram("x")
+    ab_c.merge_from(_fill(parts[0]))
+    ab_c.merge_from(_fill(parts[1]))
+    ab_c.merge_from(_fill(parts[2]))
+    c_ba = Histogram("y")
+    c_ba.merge_from(_fill(parts[2]))
+    c_ba.merge_from(_fill(parts[1]))
+    c_ba.merge_from(_fill(parts[0]))
+    assert ab_c.buckets == c_ba.buckets
+    assert ab_c.count == c_ba.count
+    for q in QUANTILES:
+        assert ab_c.quantile(q) == c_ba.quantile(q)
+
+
+# -- the bool regression (satellite) -----------------------------------------
+
+
+def test_bool_observations_do_not_pollute_int_counts():
+    """``bool`` subclasses ``int``: observe(True) must not count as 1."""
+    hist = Histogram("flags")
+    hist.observe(True)
+    hist.observe(False)
+    hist.observe(1)
+    hist.observe(1.0)
+    assert hist.count == 4
+    assert hist.int_counts == {1: 2}
+    # Bools still participate in count/sum/buckets like any number.
+    assert hist.total == pytest.approx(3.0)
+    assert hist.zero_count == 1  # False == 0.0
+
+
+def test_summary_exposes_tail_quantiles():
+    hist = _fill([0.001 * i for i in range(1, 1001)])
+    summary = hist.summary()
+    for key in ("p50", "p90", "p99", "p999"):
+        assert key in summary
+    assert summary["p50"] == pytest.approx(0.5, rel=0.02)
+    assert summary["p999"] == pytest.approx(0.999, rel=0.02)

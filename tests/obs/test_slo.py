@@ -1,0 +1,321 @@
+"""The SLO layer: spec parsing, critical-path attribution, timeline,
+fault-excused evaluation, and the zero-perturbation contract.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis.metrics import OpMetrics
+from repro.fs import build_cluster
+from repro.obs import Instrumentation, SloSpec, Timeline
+from repro.obs.slo import (
+    STAGES,
+    decompose_updates,
+    critical_path_table,
+    excused_histogram,
+    timeline_counter_events,
+)
+from repro.obs.tracer import Tracer
+from repro.workloads import XcdnWorkload
+
+
+class FakeEnv:
+    """A settable clock (the tracer only reads ``.now``)."""
+
+    def __init__(self):
+        self.now = 0.0
+
+
+# -- SLO spec parsing --------------------------------------------------------
+
+
+def test_spec_parse_and_describe():
+    spec = SloSpec.parse("write:p99<=0.05, *:p999<=0.5, mean<=0.01")
+    assert [r.op for r in spec.rules] == ["write", "*", "*"]
+    assert [r.metric for r in spec.rules] == ["p99", "p999", "mean"]
+    assert spec.rules[0].threshold == 0.05
+    assert "write:p99<=0.05" in spec.describe()
+
+
+@pytest.mark.parametrize(
+    "bad",
+    ["", "write:p99", "write:p42<=0.1", "write:p99<=oops", "p99<=-1"],
+)
+def test_spec_parse_rejects(bad):
+    with pytest.raises(ValueError):
+        SloSpec.parse(bad)
+
+
+# -- critical-path decomposition --------------------------------------------
+
+
+def _synthetic_chain(tracer, env, uid, base=0.0):
+    """One update's full enqueue -> dispatch chain at known offsets."""
+    env.now = base
+    queue = tracer.begin(
+        "commit_queued", "queue", node="client-0", update_ids=(uid,)
+    )
+    env.now = base + 0.010
+    tracer.instant("commit_checkout", "queue", update_ids=(uid,))
+    tracer.end(queue)
+    env.now = base + 0.012
+    tracer.instant("compound_assembly", "daemon", update_ids=(uid,))
+    rpc = tracer.begin("rpc:commit", "rpc", update_ids=(uid,))
+    env.now = base + 0.013
+    mds = tracer.begin("mds_handle", "mds", node="mds", update_ids=(uid,))
+    env.now = base + 0.016
+    tracer.end(mds)
+    env.now = base + 0.018
+    disk = tracer.begin(
+        "disk_dispatch", "blk", node="array", update_ids=(uid,)
+    )
+    env.now = base + 0.020
+    tracer.end(rpc)
+    env.now = base + 0.030
+    tracer.end(disk)
+    return queue
+
+
+def test_exclusive_decomposition_sums_to_total():
+    env = FakeEnv()
+    tracer = Tracer(env)
+    uid = tracer.new_update()
+    _synthetic_chain(tracer, env, uid)
+    (b,) = decompose_updates(tracer)
+    assert b.update_id == uid
+    assert b.total == pytest.approx(0.030)
+    assert b.stages["disk"] == pytest.approx(0.012)
+    assert b.stages["mds_service"] == pytest.approx(0.003)
+    # rpc span [0.012, 0.020] minus mds [0.013, 0.016] and disk
+    # [0.018, 0.030] leaves [0.012, 0.013] + [0.016, 0.018].
+    assert b.stages["rpc"] == pytest.approx(0.003)
+    assert b.stages["compound_assembly"] == pytest.approx(0.002)
+    assert b.stages["dedup_merge"] == 0.0
+    assert b.stages["queue_wait"] == pytest.approx(0.010)
+    assert b.stages["client_other"] == pytest.approx(0.0, abs=1e-12)
+    assert sum(b.stages.values()) == pytest.approx(b.total)
+    assert set(b.stages) == set(STAGES)
+
+
+def test_merged_update_charged_to_dedup_merge():
+    env = FakeEnv()
+    tracer = Tracer(env)
+    resident, merged = tracer.new_update(), tracer.new_update()
+    queue = _synthetic_chain(tracer, env, resident)
+    # Ride-along merge at t=0.004: the merged update shares the
+    # resident record's spans from the merge instant onward.
+    env.now = 0.004
+    tracer.instant(
+        "commit_merge",
+        "queue",
+        update_ids=(resident, merged),
+        merged_update=merged,
+    )
+    queue.update_ids = (resident, merged)
+    for span in tracer.spans:
+        if span.name in ("rpc:commit", "mds_handle", "disk_dispatch"):
+            span.update_ids = (resident, merged)
+    for event in tracer.events:
+        if event.name in ("commit_checkout", "compound_assembly"):
+            event.update_ids = (resident, merged)
+    by_uid = {b.update_id: b for b in decompose_updates(tracer)}
+    assert set(by_uid) == {resident, merged}
+    assert by_uid[resident].stages["dedup_merge"] == 0.0
+    # Merged update: queue span end 0.010 - merge 0.004 = 0.006 charged
+    # to dedup_merge, the pre-merge wait stays queue_wait.
+    assert by_uid[merged].stages["dedup_merge"] == pytest.approx(0.006)
+    assert by_uid[merged].stages["queue_wait"] == pytest.approx(0.004)
+    assert sum(by_uid[merged].stages.values()) == pytest.approx(
+        by_uid[merged].total
+    )
+
+
+def test_critical_path_table_renders():
+    env = FakeEnv()
+    tracer = Tracer(env)
+    for i in range(20):
+        _synthetic_chain(tracer, env, tracer.new_update(), base=0.05 * i)
+    table = critical_path_table(decompose_updates(tracer))
+    text = table.render()
+    for stage in STAGES:
+        assert stage in text
+
+
+# -- the timeline and fault-excused evaluation -------------------------------
+
+
+def _metrics_with(fault_latency=0.5):
+    metrics = OpMetrics()
+    for now in (0.05, 0.10, 0.15, 0.90, 0.95):
+        metrics.record("write", 0.001, nbytes=1, now=now)
+    # Two slow ops inside the faulty window [0.25, 0.50).
+    metrics.record("write", fault_latency, nbytes=1, now=0.30)
+    metrics.record("write", fault_latency, nbytes=1, now=0.45)
+    return metrics
+
+
+def _fault_tracer():
+    env = FakeEnv()
+    tracer = Tracer(env)
+    env.now = 0.30
+    tracer.instant("message_drop", "fault", node="uplink-0")
+    env.now = 0.40
+    tracer.instant("partition_start", "fault", client=0, until=0.55)
+    return tracer
+
+
+def test_timeline_marks_fault_windows():
+    metrics = _metrics_with()
+    timeline = Timeline.build(metrics, _fault_tracer())
+    # Window width 0.25: the point fault and the [0.40, 0.55] range both
+    # land in windows 1-2; clean data windows are 0 and 3.
+    assert timeline.fault_window_indexes == {1, 2}
+    by_index = {w.index: w for w in timeline.windows}
+    assert by_index[0].ops == 3
+    assert not by_index[0].fault_active
+    assert "message_drop" in by_index[1].faults
+    assert "partition_start" in by_index[2].faults
+
+
+def test_fault_excused_evaluation_flips_verdict():
+    metrics = _metrics_with(fault_latency=0.5)
+    timeline = Timeline.build(metrics, _fault_tracer())
+    spec = SloSpec.parse("write:p99<=0.01")
+    (unexcused,) = spec.evaluate(metrics)
+    assert not unexcused.passed
+    (excused,) = spec.evaluate(metrics, timeline.fault_window_indexes)
+    assert excused.passed
+    assert excused.excused_count == 5
+    assert excused.count == 7
+    assert excused.value > excused.excused_value
+
+
+def test_excused_histogram_drops_only_excluded_windows():
+    metrics = _metrics_with()
+    hist = excused_histogram(metrics, "write", {1, 2})
+    assert hist.count == 5
+    assert hist.max == pytest.approx(0.001)
+    pooled = excused_histogram(metrics, None, frozenset())
+    assert pooled.count == metrics.total_ops
+
+
+def test_timeline_counter_events_are_counter_tracks():
+    metrics = _metrics_with()
+    timeline = Timeline.build(metrics, _fault_tracer())
+    events = timeline_counter_events(timeline)
+    counters = [e for e in events if e.get("ph") == "C"]
+    assert counters, "expected ph=C counter events"
+    names = {e["name"] for e in counters}
+    assert {"slo.throughput", "slo.latency_ms", "slo.queue_depth",
+            "slo.merge_ratio", "slo.fault_active"} <= names
+    # Fault-active annotation rides the counter track too.
+    active = [
+        e["args"]["active"]
+        for e in counters
+        if e["name"] == "slo.fault_active"
+    ]
+    assert 1 in active and 0 in active
+
+
+# -- end-to-end on a live cluster -------------------------------------------
+
+
+def _xcdn():
+    return XcdnWorkload(
+        file_size=32 * 1024, seed_files_per_client=5, threads_per_client=2
+    )
+
+
+def test_live_decomposition_and_slo():
+    obs = Instrumentation()
+    cluster = build_cluster("redbud-delayed", num_clients=2, seed=11,
+                            obs=obs)
+    result = cluster.run_workload(_xcdn(), duration=1.0, warmup=0.1)
+    cluster.settle()
+    breakdowns = decompose_updates(obs.tracer)
+    assert breakdowns, "a delayed-commit run must yield complete chains"
+    for b in breakdowns:
+        assert b.total > 0
+        assert sum(b.stages.values()) == pytest.approx(b.total)
+        assert all(v >= -1e-12 for v in b.stages.values())
+    timeline = Timeline.build(result.metrics, obs.tracer, breakdowns)
+    assert timeline.windows
+    assert sum(w.ops for w in timeline.windows) == result.ops_completed
+    results = SloSpec.parse("write:p99<=10,*:p999<=10").evaluate(
+        result.metrics, timeline.fault_window_indexes
+    )
+    assert all(r.passed for r in results)
+    # The run harness published per-op tails into the registry.
+    assert "slo.latency.write" in obs.registry
+    snap = obs.registry.snapshot()["slo.latency.write"]
+    assert snap["count"] == result.metrics.count("write")
+    assert "p999" in snap
+
+
+def test_slo_layer_preserves_zero_perturbation():
+    """Arming obs + evaluating SLOs must not change the simulation."""
+
+    def run(obs):
+        cluster = build_cluster(
+            "redbud-delayed", num_clients=2, seed=11, obs=obs
+        )
+        result = cluster.run_workload(_xcdn(), duration=1.0, warmup=0.1)
+        return cluster.blktrace.to_rows(), result
+
+    bare_rows, bare_result = run(None)
+    obs = Instrumentation()
+    armed_rows, armed_result = run(obs)
+    # Evaluating is a pure read -- do it, then re-check the rows.
+    timeline = Timeline.build(armed_result.metrics, obs.tracer,
+                              decompose_updates(obs.tracer))
+    SloSpec.parse("*:p999<=100").evaluate(
+        armed_result.metrics, timeline.fault_window_indexes
+    )
+    assert bare_rows == armed_rows
+    assert bare_result.ops_completed == armed_result.ops_completed
+    assert bare_result.latency().p999 == armed_result.latency().p999
+
+
+# -- the CLI verb ------------------------------------------------------------
+
+
+def test_cli_slo_json_smoke(capsys):
+    from repro.cli import main
+
+    code = main(
+        [
+            "slo",
+            "--systems", "redbud-delayed",
+            "--clients", "2",
+            "--duration", "0.5",
+            "--slo", "write:p99<=10,*:p999<=10",
+            "--json",
+        ]
+    )
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    entry = payload["systems"]["redbud-delayed"]
+    assert entry["slo"] and all(r["passed"] for r in entry["slo"])
+    assert entry["critical_path_updates"] > 0
+    assert entry["timeline"]
+    assert "p999" in entry["per_op"]["write"]
+
+
+def test_cli_slo_violation_exits_nonzero(capsys):
+    from repro.cli import main
+
+    code = main(
+        [
+            "slo",
+            "--systems", "nfs3",
+            "--clients", "2",
+            "--duration", "0.5",
+            "--slo", "write:p99<=0.000000001",
+            "--json",
+        ]
+    )
+    assert code == 1
+    payload = json.loads(capsys.readouterr().out)
+    (verdict,) = payload["systems"]["nfs3"]["slo"]
+    assert not verdict["passed"]
