@@ -80,10 +80,16 @@ class Counterexample:
     seed: int = 0
     clients: int = 3
     shards: int = 1
+    replication: str = "none"
     trace: _t.List[str] = field(default_factory=list)
 
     def as_dict(self) -> _t.Dict[str, _t.Any]:
         shards_arg = f" --shards {self.shards}" if self.shards > 1 else ""
+        repl_arg = (
+            f" --replication {self.replication}"
+            if self.replication != "none"
+            else ""
+        )
         return {
             "schedule": self.schedule,
             "minimal": self.minimal,
@@ -94,7 +100,8 @@ class Counterexample:
             "shrink_probes": self.shrink_probes,
             "replay": (
                 f"python -m repro run --faults '{self.minimal}' --check "
-                f"--seed {self.seed} --clients {self.clients}{shards_arg}"
+                f"--seed {self.seed} --clients {self.clients}"
+                f"{shards_arg}{repl_arg}"
             ),
             "trace": list(self.trace),
         }
@@ -109,6 +116,7 @@ class CheckReport:
     mode: str
     clients: int
     shards: int = 1
+    replication: str = "none"
     schedules: _t.List[_t.Dict[str, _t.Any]] = field(default_factory=list)
     counterexamples: _t.List[Counterexample] = field(default_factory=list)
     coverage: _t.Dict[str, _t.Any] = field(default_factory=dict)
@@ -129,6 +137,7 @@ class CheckReport:
             "mode": self.mode,
             "clients": self.clients,
             "shards": self.shards,
+            "replication": self.replication,
             "schedules_run": len(self.schedules),
             "failures": self.failures,
             "ok": self.ok,
@@ -156,6 +165,7 @@ def run_schedule(
     clients: int = 3,
     mode: str = "delayed",
     shards: int = 1,
+    replication: str = "none",
     run_span: float = RUN_SPAN,
     tweak: _t.Optional[_t.Callable[[RedbudCluster], None]] = None,
 ) -> RunOutcome:
@@ -175,6 +185,10 @@ def run_schedule(
             shards=shards,
         ),
         retry=None if spec.empty else RetryPolicy(),
+        replication=replication,
+        # Small witness budget so the overflow fallback is reachable
+        # inside a short check run, not just at bench scale.
+        witness_capacity=16,
     )
     obs = Instrumentation()
     cluster = RedbudCluster(config, seed=seed, obs=obs)
@@ -246,17 +260,26 @@ def run_schedule(
 
 
 def _nemesis_spec(
-    rng: StreamRNG, clients: int, shards: int = 1
+    rng: StreamRNG,
+    clients: int,
+    shards: int = 1,
+    replication: str = "none",
 ) -> FaultSpec:
     """Draw one random fault combination as canonical clause atoms.
 
-    At ``shards == 1`` the draw sequence is frozen (CI asserts reports
-    are byte-identical across runs *and* releases); sharded clauses --
-    single-shard restarts, shard partitions -- both gate on
-    ``shards > 1`` and only add draws inside that gate.
+    At ``shards == 1, replication == "none"`` the draw sequence is
+    frozen (CI asserts reports are byte-identical across runs *and*
+    releases); sharded clauses gate on ``shards > 1`` and the disk-loss
+    family gates on a replicated cluster -- each only adds draws inside
+    its own gate, so arming one axis never perturbs the other.
     """
+    from repro.storage.groups import arrangement_named
+
     clauses: _t.List[str] = []
-    num_families = 9 if shards > 1 else 8
+    replicated = replication != "none"
+    num_families = 8 + (1 if shards > 1 else 0) + (1 if replicated else 0)
+    shard_family = 8 if shards > 1 else None
+    disk_family = num_families - 1 if replicated else None
     family = rng.integers(0, num_families)
     t0 = round(rng.uniform(0.05, 0.30), 4)
 
@@ -300,12 +323,28 @@ def _nemesis_spec(
         clauses.append(f"loss={round(rng.uniform(0.02, 0.15), 3)!r}")
         cid = rng.integers(0, clients)
         clauses.append(f"client_death={cid}@{t0!r}")
-    else:
+    elif family == shard_family:
         # Sharded deployments only: cut one metadata shard off from
         # every client while the others keep serving.
         sid = rng.integers(0, shards)
         t1 = round(t0 + rng.uniform(0.08, 0.22), 4)
         clauses.append(f"shard_partition={sid}@{t0!r}-{t1!r}")
+    elif family == disk_family:
+        # Replicated clusters only: destroy replica members, staying
+        # inside the arrangement's fault budget; half the losses
+        # rebuild (readmit + re-silver) mid-run.
+        arr = arrangement_named(replication)
+        member = rng.integers(0, arr.size)
+        if rng.random() < 0.5:
+            rebuild = round(rng.uniform(0.05, 0.20), 4)
+            clauses.append(f"disk_loss={member}@{t0!r}:{rebuild!r}")
+        else:
+            clauses.append(f"disk_loss={member}@{t0!r}")
+        if arr.tolerates >= 2 and rng.random() < 0.4:
+            second = rng.integers(0, arr.size)
+            if second != member:
+                at2 = round(t0 + rng.uniform(0.02, 0.10), 4)
+                clauses.append(f"disk_loss={second}@{at2!r}")
     if rng.random() < 0.35:
         clauses.append(f"crash@{round(rng.uniform(0.10, 0.50), 4)!r}")
     return compose(clauses)
@@ -320,6 +359,7 @@ def _trace_excerpt(
         "commit_apply", "journal_write", "lease_reclaim", "array_fence",
         "write_fenced", "partition_start", "partition_end",
         "message_drop", "message_delay", "partition_drop",
+        "witness_commit",
     }
     lines: _t.List[_t.Tuple[float, str]] = []
     for event in tracer.events:
@@ -356,6 +396,7 @@ def explore(
     clients: int = 3,
     mode: str = "delayed",
     shards: int = 1,
+    replication: str = "none",
     tweak: _t.Optional[_t.Callable[[RedbudCluster], None]] = None,
     max_counterexamples: int = 3,
     shrink_probe_budget: int = 24,
@@ -372,7 +413,7 @@ def explore(
         raise ValueError("budget must be >= 1")
     report = CheckReport(
         seed=seed, budget=budget, mode=mode, clients=clients,
-        shards=shards,
+        shards=shards, replication=replication,
     )
     coverage = TransitionCoverage()
     say = log if log is not None else (lambda _msg: None)
@@ -395,7 +436,7 @@ def explore(
     def runner(spec: FaultSpec) -> RunOutcome:
         return run_schedule(
             spec, seed=seed, clients=clients, mode=mode, shards=shards,
-            tweak=tweak,
+            replication=replication, tweak=tweak,
         )
 
     # 1. Probe: fault-free baseline + transition timestamps.
@@ -426,7 +467,9 @@ def explore(
     # 3. Nemesis schedules fill the rest of the budget.
     nemesis_root = StreamRNG(seed).stream("check", "nemesis")
     for i in range(max(0, remaining)):
-        spec = _nemesis_spec(nemesis_root.stream(i), clients, shards)
+        spec = _nemesis_spec(
+            nemesis_root.stream(i), clients, shards, replication
+        )
         outcome = runner(spec)
         record("nemesis", spec, outcome)
         if not outcome.verdict.ok:
@@ -462,6 +505,7 @@ def explore(
                 seed=seed,
                 clients=clients,
                 shards=shards,
+                replication=replication,
                 trace=_trace_excerpt(replay),
             )
         )

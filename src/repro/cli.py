@@ -235,12 +235,13 @@ def cmd_run(args: argparse.Namespace) -> int:
 
             outcome = run_schedule(
                 spec, seed=args.seed, clients=args.clients,
-                shards=args.shards,
+                shards=args.shards, replication=args.replication,
             )
             print(
                 f"crash schedule {spec.serialize()!r} replayed on the "
                 f"check harness (seed={args.seed}, "
-                f"clients={args.clients}, shards={args.shards})"
+                f"clients={args.clients}, shards={args.shards}, "
+                f"replication={args.replication})"
             )
             for line in outcome.verdict.summaries:
                 print(f"check: {line}")
@@ -271,6 +272,14 @@ def cmd_run(args: argparse.Namespace) -> int:
             )
             return 2
         config_kw["shards"] = args.shards
+    if args.replication != "none":
+        if not args.system.startswith("redbud"):
+            print(
+                "error: --replication supports the redbud systems only",
+                file=sys.stderr,
+            )
+            return 2
+        config_kw["replication"] = args.replication
     cluster = build_cluster(
         args.system, num_clients=args.clients, seed=args.seed, obs=obs,
         **config_kw,
@@ -843,6 +852,7 @@ def cmd_check(args: argparse.Namespace) -> int:
         clients=args.clients,
         mode=args.mode,
         shards=args.shards,
+        replication=args.replication,
         tweak=tweak,
         max_counterexamples=args.max_counterexamples,
         log=lambda msg: print(msg, file=sys.stderr),
@@ -922,14 +932,24 @@ def build_parser() -> argparse.ArgumentParser:
         "%(default)s, which is byte-identical to the single MDS)",
     )
     p_run.add_argument(
+        "--replication",
+        choices=("none", "mirror3", "block4-2"),
+        default="none",
+        help="replicated storage group arrangement (redbud systems "
+        "only; default %(default)s, which is byte-identical to the "
+        "unreplicated array). mirror3/block4-2 also arm CURP "
+        "witnesses on the delayed/unordered commit paths",
+    )
+    p_run.add_argument(
         "--faults",
         metavar="SPEC",
         default=None,
         help="inject faults (redbud systems only); comma-separated "
         "clauses: loss=P, delay=P:MAX, partition=CID@T0-T1, "
         "mds_restart@T:D[:shard=K], client_death=CID@T, "
-        "shard_partition=K@T0-T1, crash@T -- e.g. "
-        "'loss=0.05,mds_restart@0.5:0.2,client_death=2@0.8'",
+        "shard_partition=K@T0-T1, disk_loss=M@T[:R], crash@T -- e.g. "
+        "'loss=0.05,mds_restart@0.5:0.2,disk_loss=1@0.3:0.2' "
+        "(disk_loss needs --replication)",
     )
     p_run.add_argument(
         "--slo",
@@ -1098,6 +1118,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="metadata shards for every explored cluster (default "
         "%(default)s); >1 adds shard-aware nemesis clauses and the "
         "cross-shard disjointness oracle",
+    )
+    p_check.add_argument(
+        "--replication",
+        choices=("none", "mirror3", "block4-2"),
+        default="none",
+        help="replicated storage group for every explored cluster "
+        "(default %(default)s); mirror3/block4-2 add disk-loss "
+        "nemesis clauses, CURP witnesses, and the replica-divergence "
+        "oracle",
     )
     p_check.add_argument(
         "--mode",

@@ -89,6 +89,7 @@ class RedbudClient(FileSystemAPI):
         ] = None,
         shard_of_file: _t.Optional[_t.Callable[[int], int]] = None,
         num_shards: int = 1,
+        witnesses: _t.Optional[_t.Any] = None,
     ) -> None:
         self.env = env
         self.client_id = client_id
@@ -144,6 +145,7 @@ class RedbudClient(FileSystemAPI):
                 on_committed=self._on_record_committed,
                 obs=obs,
                 node=self._node,
+                witnesses=witnesses,
             )
             self.thread_pool = AdaptiveCommitThreadPool(
                 env, self.daemon_ctx, policy=thread_pool_policy

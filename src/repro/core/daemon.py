@@ -65,6 +65,7 @@ class CommitDaemonContext:
         on_committed: _t.Optional[_t.Callable[[CommitRecord], None]] = None,
         obs: _t.Optional[_t.Any] = None,
         node: str = "",
+        witnesses: _t.Optional[_t.Any] = None,
     ) -> None:
         self.env = env
         self.queue = queue
@@ -75,6 +76,9 @@ class CommitDaemonContext:
         #: Observability bundle (``repro.obs.Instrumentation``) or None.
         self.obs = obs
         self.node = node
+        #: CURP witness set (:class:`repro.core.witness.WitnessSet`) of
+        #: a replicated cluster, or None for the ordered-only path.
+        self.witnesses = witnesses
 
 
 class DaemonState:
@@ -137,17 +141,48 @@ def commit_daemon(
             ]
         )
         sent_at = env.now
+        # CURP fast path: commits whose file ranges are disjoint from
+        # every unsynced op replicate unordered to the witnesses in one
+        # fast RTT, after which the records count as committed; the
+        # ordered MDS sync then proceeds with the records already
+        # acknowledged.  Safe because checkout guarantees data-stable:
+        # the extents are durable on >= quorum group members, and a
+        # crash before the MDS sync replays the witnessed ops.
+        witnessed = (
+            ctx.witnesses is not None
+            and ctx.witnesses.try_record(ctx.rpc.client_id, payload.ops)
+        )
+        if witnessed:
+            yield env.timeout(ctx.witnesses.rtt)
+            if ctx.obs is not None:
+                ctx.obs.tracer.instant(
+                    "witness_commit",
+                    "daemon",
+                    node=ctx.node,
+                    actor="commit-daemon",
+                    update_ids=batch_trace_ids,
+                    degree=len(batch),
+                )
+            _finish_batch(ctx, batch, sent_at)
         try:
             yield ctx.rpc.call("commit", payload, trace_ids=batch_trace_ids)
         except Interrupt:
             # Retire requested mid-RPC; the reply is lost to this daemon
-            # but the MDS applied the commit.  Treat records as committed.
-            _finish_batch(ctx, batch, sent_at)
+            # but the MDS applied the commit.  Treat records as committed
+            # (witnessed batches already were); the witness entries stay
+            # unsynced and are cleared by dedup at replay time.
+            if not witnessed:
+                _finish_batch(ctx, batch, sent_at)
             return
         ctx.controller.observe_rpc_latency(
             env.now - sent_at, shard=batch_shard
         )
-        _finish_batch(ctx, batch, sent_at)
+        if witnessed:
+            ctx.witnesses.sync(
+                ctx.rpc.client_id, [op.op_id for op in payload.ops]
+            )
+        else:
+            _finish_batch(ctx, batch, sent_at)
 
 
 def _finish_batch(

@@ -21,6 +21,7 @@ suppression in :mod:`repro.mds.server`, lease-based reclamation in
 from repro.faults.injector import FaultInjector, LinkFaults
 from repro.faults.spec import (
     ClientDeath,
+    DiskLoss,
     FaultSpec,
     MdsRestart,
     Partition,
@@ -29,6 +30,7 @@ from repro.faults.spec import (
 
 __all__ = [
     "ClientDeath",
+    "DiskLoss",
     "FaultInjector",
     "FaultSpec",
     "LinkFaults",

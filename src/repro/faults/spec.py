@@ -18,6 +18,12 @@ A spec is a comma-separated list of clauses::
                            (both directions) during [T0, T1)
     client_death=CID@T     kill client CID at time T (volatile state and
                            queued I/O lost; lease GC reclaims its space)
+    disk_loss=M@T          permanently destroy replica member M of the
+                           storage group at time T (requires a replicated
+                           cluster, ``--replication mirror3|block4-2``)
+    disk_loss=M@T:R        same, but readmit the member R seconds later;
+                           it comes back empty and re-silvers from the
+                           surviving members
     crash@T                whole-cluster crash at time T -- the run is cut
                            short, recovery runs, and the consistency
                            invariants are checked (handled by the harness,
@@ -25,10 +31,14 @@ A spec is a comma-separated list of clauses::
 
 Example: ``loss=0.05,delay=0.1:0.004,mds_restart@0.5:0.2,client_death=2@0.8``.
 
-Multiple ``partition``/``mds_restart``/``client_death`` clauses may be
-given; at most one ``crash``.  An empty string parses to the empty spec,
-which injects nothing.  ``FaultSpec.serialize`` renders a spec back into
-this language such that ``parse(spec.serialize()) == spec``.
+Multiple ``partition``/``mds_restart``/``client_death``/``disk_loss``
+clauses may be given; at most one ``crash``, and at most one ``loss`` /
+``delay`` each (a duplicate scalar clause is a parse error, not a silent
+overwrite).  Unknown clause keys are parse errors carrying the offending
+token, so a typo like ``disk_los=0@5`` cannot silently arm nothing.  An
+empty string parses to the empty spec, which injects nothing.
+``FaultSpec.serialize`` renders a spec back into this language such that
+``parse(spec.serialize()) == spec``.
 """
 
 from __future__ import annotations
@@ -109,6 +119,30 @@ class ClientDeath:
 
 
 @dataclass(frozen=True)
+class DiskLoss:
+    """Replica member ``member`` destroyed at ``at``.
+
+    The member's disk contents are gone (not merely unreachable).  With
+    ``rebuild_after`` set, the member is readmitted that many seconds
+    later, empty, and re-silvers from the surviving members.
+    """
+
+    member: int
+    at: float
+    rebuild_after: _t.Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.member < 0 or self.at < 0:
+            raise ValueError(
+                f"bad disk_loss member={self.member} at={self.at}"
+            )
+        if self.rebuild_after is not None and self.rebuild_after <= 0:
+            raise ValueError(
+                f"bad disk_loss rebuild window {self.rebuild_after}"
+            )
+
+
+@dataclass(frozen=True)
 class FaultSpec:
     """A complete fault schedule for one run."""
 
@@ -124,6 +158,7 @@ class FaultSpec:
     shard_partitions: _t.Tuple[ShardPartition, ...] = field(
         default_factory=tuple
     )
+    disk_losses: _t.Tuple[DiskLoss, ...] = field(default_factory=tuple)
     #: Whole-cluster crash time.  The injector ignores this field; the
     #: crash-schedule harness (``repro.check``) and ``repro run`` cut the
     #: run at this instant and run recovery + the consistency oracle.
@@ -158,18 +193,19 @@ class FaultSpec:
             and not self.mds_restarts
             and not self.client_deaths
             and not self.shard_partitions
+            and not self.disk_losses
         )
 
     @classmethod
     def parse(cls, text: str) -> "FaultSpec":
         """Parse the ``--faults`` mini-language (see module docstring)."""
-        loss = 0.0
-        delay_prob = 0.0
-        delay_max = 0.0
+        loss: _t.Optional[float] = None
+        delay: _t.Optional[_t.Tuple[float, float]] = None
         partitions: _t.List[Partition] = []
         mds_restarts: _t.List[MdsRestart] = []
         client_deaths: _t.List[ClientDeath] = []
         shard_partitions: _t.List[ShardPartition] = []
+        disk_losses: _t.List[DiskLoss] = []
         crash_at: _t.Optional[float] = None
         for raw in text.split(","):
             clause = raw.strip()
@@ -177,11 +213,14 @@ class FaultSpec:
                 continue
             try:
                 if clause.startswith("loss="):
+                    if loss is not None:
+                        raise ValueError("duplicate loss clause")
                     loss = float(clause[len("loss="):])
                 elif clause.startswith("delay="):
+                    if delay is not None:
+                        raise ValueError("duplicate delay clause")
                     prob_s, max_s = clause[len("delay="):].split(":")
-                    delay_prob = float(prob_s)
-                    delay_max = float(max_s)
+                    delay = (float(prob_s), float(max_s))
                 elif clause.startswith("partition="):
                     cid_s, window = clause[len("partition="):].split("@")
                     # Split on the window separator only, not the "-" of a
@@ -229,6 +268,22 @@ class FaultSpec:
                     client_deaths.append(
                         ClientDeath(client_id=int(cid_s), at=float(at_s))
                     )
+                elif clause.startswith("disk_loss="):
+                    member_s, rest = clause[len("disk_loss="):].split("@")
+                    parts = rest.split(":")
+                    if len(parts) == 1:
+                        rebuild: _t.Optional[float] = None
+                    elif len(parts) == 2:
+                        rebuild = float(parts[1])
+                    else:
+                        raise ValueError("expected disk_loss=M@T[:R]")
+                    disk_losses.append(
+                        DiskLoss(
+                            member=int(member_s),
+                            at=float(parts[0]),
+                            rebuild_after=rebuild,
+                        )
+                    )
                 elif clause.startswith("crash@"):
                     if crash_at is not None:
                         raise ValueError("at most one crash clause")
@@ -242,13 +297,14 @@ class FaultSpec:
                     f"malformed fault clause {clause!r}: {exc}"
                 ) from exc
         return cls(
-            loss=loss,
-            delay_prob=delay_prob,
-            delay_max=delay_max,
+            loss=loss if loss is not None else 0.0,
+            delay_prob=delay[0] if delay is not None else 0.0,
+            delay_max=delay[1] if delay is not None else 0.0,
             partitions=tuple(partitions),
             mds_restarts=tuple(mds_restarts),
             client_deaths=tuple(client_deaths),
             shard_partitions=tuple(shard_partitions),
+            disk_losses=tuple(disk_losses),
             crash_at=crash_at,
         )
 
@@ -274,6 +330,11 @@ class FaultSpec:
             clauses.append(
                 f"shard_partition={sp.shard}@{sp.start!r}-{sp.end!r}"
             )
+        for dl in self.disk_losses:
+            suffix = (
+                "" if dl.rebuild_after is None else f":{dl.rebuild_after!r}"
+            )
+            clauses.append(f"disk_loss={dl.member}@{dl.at!r}{suffix}")
         if self.crash_at is not None:
             clauses.append(f"crash@{self.crash_at!r}")
         return ",".join(clauses)

@@ -74,6 +74,16 @@ class ClusterConfig:
     #: derive from ``commit_queue_capacity``).
     degrade_backlog: _t.Optional[int] = None
 
+    #: Storage-group replication arrangement for the disk array:
+    #: ``none`` (single copy, the default -- byte-identical to a build
+    #: without the replication machinery), ``mirror3`` (3-way mirror) or
+    #: ``block4-2`` (4+2 Reed-Solomon).  Replicated delayed-commit
+    #: clusters also arm the CURP-style 1-RTT witness commit path.
+    replication: str = "none"
+    #: Per-witness slot budget for unsynced commutative commits; a full
+    #: witness forces the ordered fallback path.
+    witness_capacity: int = 64
+
     #: Allocation groups on the volume.
     num_allocation_groups: int = 8
     #: Cross-AG strategy: ``locality``, ``round-robin`` or ``random``.
@@ -107,6 +117,18 @@ class ClusterConfig:
                     f"volume too small for {self.mds.shards} shards x "
                     f"{self.num_allocation_groups} allocation groups"
                 )
+        if self.replication != "none":
+            from repro.storage.groups import ARRANGEMENTS
+
+            if self.replication not in ARRANGEMENTS:
+                raise ValueError(
+                    f"unknown replication {self.replication!r}; choose "
+                    f"from {sorted(ARRANGEMENTS)}"
+                )
+        if self.witness_capacity < 1:
+            raise ValueError(
+                f"witness_capacity must be >= 1, got {self.witness_capacity}"
+            )
         # Canonical config normalization: the MDS hands out chunks of
         # the size the clients pool, so a delegation_chunk override on
         # the cluster config propagates into the MDS parameters here --
@@ -124,6 +146,12 @@ class ClusterConfig:
         return dataclasses.replace(
             self, mds=dataclasses.replace(self.mds, shards=shards)
         )
+
+    def with_replication(self, replication: str) -> "ClusterConfig":
+        """This config with the given replication arrangement."""
+        if replication == self.replication:
+            return self
+        return dataclasses.replace(self, replication=replication)
 
     # -- the three Redbud configurations of Fig. 4/5 -------------------------
 

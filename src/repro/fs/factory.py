@@ -34,6 +34,9 @@ def build_cluster(
     when given, the cluster traces causal spans and publishes metrics.
     ``shards`` (redbud systems only) splits the metadata service into
     that many shards; ``shards=1`` is byte-identical to the single MDS.
+    ``replication`` (redbud systems only) puts a replicated storage
+    group behind the disk array (``mirror3`` / ``block4-2``);
+    ``replication="none"`` is byte-identical to an unreplicated build.
     """
     shards = config_kw.pop("shards", None)
     if shards is not None and shards > 1 and not system.startswith(
@@ -41,6 +44,15 @@ def build_cluster(
     ):
         raise ValueError(
             f"metadata sharding requires a redbud system, got {system!r}"
+        )
+    replication = config_kw.pop("replication", None)
+    if (
+        replication is not None
+        and replication != "none"
+        and not system.startswith("redbud")
+    ):
+        raise ValueError(
+            f"storage replication requires a redbud system, got {system!r}"
         )
     if system == "pvfs2":
         return Pvfs2Cluster(
@@ -68,6 +80,8 @@ def build_cluster(
         )
         if shards is not None:
             config = config.with_shards(shards)
+        if replication is not None:
+            config = config.with_replication(replication)
         return RedbudCluster(config, seed=seed, obs=obs)
     if system == "redbud-delayed":
         config = ClusterConfig.space_delegation_config(
@@ -75,5 +89,7 @@ def build_cluster(
         )
         if shards is not None:
             config = config.with_shards(shards)
+        if replication is not None:
+            config = config.with_replication(replication)
         return RedbudCluster(config, seed=seed, obs=obs)
     raise ValueError(f"unknown system {system!r}; pick from {SYSTEMS}")

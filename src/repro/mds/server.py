@@ -26,6 +26,7 @@ from repro.mds.extent import Chunk, Extent
 from repro.mds.namespace import FileExistsMdsError, Namespace
 from repro.net.link import Link
 from repro.net.messages import (
+    CommitOp,
     CommitPayload,
     CreatePayload,
     DelegationPayload,
@@ -482,6 +483,38 @@ class MetadataServer:
                     self.obs.registry.counter("mds.journal_writes").inc()
             results.append(result)
         return results
+
+    def replay_witnessed(
+        self,
+        client_id: int,
+        op_id: int,
+        file_id: int,
+        extents: _t.Sequence[_t.Any],
+    ) -> bool:
+        """Crash recovery: apply one witnessed-but-unsynced commit op.
+
+        CURP witness replay.  A fast-path commit acknowledged off the
+        witnesses may not have reached the MDS before a whole-cluster
+        crash; recovery replays the witnesses' unsynced entries here.
+        The durable ``(client, op_id)`` result table deduplicates ops
+        whose ordered sync *did* land pre-crash (the exactly-once
+        oracle audits ``commit_apply_counts`` either way).  Returns
+        True when the op was applied, False when dedup suppressed it.
+        """
+        dedup_key = (client_id, op_id)
+        if (
+            self.commit_dedup_enabled
+            and dedup_key in self._commit_results
+        ):
+            self.duplicate_commits_suppressed += 1
+            return False
+        op = CommitOp(file_id=file_id, extents=list(extents), op_id=op_id)
+        result = self._commit_op(op, client_id)
+        self._commit_results[dedup_key] = result
+        self.commit_apply_counts[dedup_key] = (
+            self.commit_apply_counts.get(dedup_key, 0) + 1
+        )
+        return True
 
     def _commit_op(self, op: _t.Any, client_id: int) -> bool:
         if op.file_id not in self.namespace:

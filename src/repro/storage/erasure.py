@@ -1,0 +1,162 @@
+"""Reed-Solomon erasure coding over GF(2^8) for block arrangements.
+
+The ``block4-2`` storage-group arrangement stripes each extent across
+six members: four data shards plus two parity shards, any four of which
+reconstruct the stripe.  The code here is a classic systematic
+Cauchy-matrix Reed-Solomon construction (Jerasure-style): the encoding
+matrix is ``[I_k ; C]`` where ``C[i][j] = 1 / (x_i ^ y_j)`` with the
+``x_i`` and ``y_j`` drawn from disjoint subsets of the field.  Every
+``k x k`` submatrix of such a matrix is invertible, which is exactly the
+MDS property the quorum math in :mod:`repro.storage.groups` relies on.
+
+Pure Python, no dependencies: the field is tiny (256 elements) so the
+log/antilog tables are built once at import and a stripe encode is a
+handful of table lookups per byte -- plenty for tests and for the
+simulator, which models replication at extent granularity and only
+touches real bytes in the property tests.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+__all__ = [
+    "gf_mul",
+    "gf_inv",
+    "encode_stripe",
+    "reconstruct_stripe",
+]
+
+#: The usual Reed-Solomon field polynomial x^8 + x^4 + x^3 + x^2 + 1,
+#: under which x itself is primitive (so the log tables are dense).
+_POLY = 0x11D
+
+# Log/antilog tables for GF(2^8) with generator x.
+_EXP = [0] * 512
+_LOG = [0] * 256
+_value = 1
+for _i in range(255):
+    _EXP[_i] = _value
+    _LOG[_value] = _i
+    _value <<= 1
+    if _value & 0x100:
+        _value ^= _POLY
+for _i in range(255, 512):
+    _EXP[_i] = _EXP[_i - 255]
+
+
+def gf_mul(a: int, b: int) -> int:
+    """Multiply in GF(2^8)."""
+    if a == 0 or b == 0:
+        return 0
+    return _EXP[_LOG[a] + _LOG[b]]
+
+
+def gf_inv(a: int) -> int:
+    """Multiplicative inverse in GF(2^8)."""
+    if a == 0:
+        raise ZeroDivisionError("0 has no inverse in GF(2^8)")
+    return _EXP[255 - _LOG[a]]
+
+
+def _cauchy_rows(k: int, m: int) -> _t.List[_t.List[int]]:
+    """The ``m x k`` Cauchy block C with C[i][j] = 1/(x_i ^ y_j).
+
+    ``x_i = i`` for parity rows and ``y_j = m + j`` for data columns;
+    the two index sets are disjoint so every denominator is nonzero,
+    and every square submatrix of a Cauchy matrix is invertible.
+    """
+    if k + m > 256:
+        raise ValueError(f"k+m must fit in GF(2^8), got {k}+{m}")
+    return [
+        [gf_inv(i ^ (m + j)) for j in range(k)] for i in range(m)
+    ]
+
+
+def _encoding_matrix(k: int, m: int) -> _t.List[_t.List[int]]:
+    """``(k+m) x k`` systematic encoding matrix [I_k ; C]."""
+    identity = [
+        [1 if r == c else 0 for c in range(k)] for r in range(k)
+    ]
+    return identity + _cauchy_rows(k, m)
+
+
+def _invert(matrix: _t.List[_t.List[int]]) -> _t.List[_t.List[int]]:
+    """Gauss-Jordan inversion of a square matrix over GF(2^8)."""
+    n = len(matrix)
+    aug = [row[:] + [1 if i == j else 0 for j in range(n)]
+           for i, row in enumerate(matrix)]
+    for col in range(n):
+        pivot = next(
+            (r for r in range(col, n) if aug[r][col] != 0), None
+        )
+        if pivot is None:
+            raise ValueError("singular matrix (not MDS?)")
+        aug[col], aug[pivot] = aug[pivot], aug[col]
+        inv = gf_inv(aug[col][col])
+        aug[col] = [gf_mul(inv, v) for v in aug[col]]
+        for row in range(n):
+            if row != col and aug[row][col]:
+                factor = aug[row][col]
+                aug[row] = [
+                    v ^ gf_mul(factor, p)
+                    for v, p in zip(aug[row], aug[col])
+                ]
+    return [row[n:] for row in aug]
+
+
+def encode_stripe(data: bytes, k: int = 4, m: int = 2) -> _t.List[bytes]:
+    """Split ``data`` into ``k`` shards and append ``m`` parity shards.
+
+    The stripe is zero-padded up to a multiple of ``k``; callers that
+    need the exact length back pass it to :func:`reconstruct_stripe`.
+    Returns ``k + m`` equal-length shards, indexed by member id.
+    """
+    if k <= 0 or m < 0:
+        raise ValueError(f"bad geometry k={k} m={m}")
+    shard_len = (len(data) + k - 1) // k if data else 1
+    padded = data.ljust(shard_len * k, b"\0")
+    shards = [
+        bytearray(padded[i * shard_len:(i + 1) * shard_len])
+        for i in range(k)
+    ]
+    for row in _cauchy_rows(k, m):
+        parity = bytearray(shard_len)
+        for coeff, shard in zip(row, shards):
+            if coeff == 0:
+                continue
+            for pos in range(shard_len):
+                parity[pos] ^= gf_mul(coeff, shard[pos])
+        shards.append(parity)
+    return [bytes(s) for s in shards]
+
+
+def reconstruct_stripe(
+    shares: _t.Mapping[int, bytes], size: int, k: int = 4, m: int = 2
+) -> bytes:
+    """Rebuild the original ``size`` bytes from any ``k`` surviving shards.
+
+    ``shares`` maps member index (0..k+m-1) to that member's shard.  Any
+    ``k`` of the ``k + m`` members suffice (the MDS property); fewer
+    raises ``ValueError``.
+    """
+    if len(shares) < k:
+        raise ValueError(
+            f"need {k} shards to reconstruct, have {len(shares)}"
+        )
+    rows = sorted(shares)[:k]
+    full = _encoding_matrix(k, m)
+    sub = [full[r] for r in rows]
+    decode = _invert(sub)
+    shard_len = len(shares[rows[0]])
+    data_shards = []
+    for i in range(k):
+        out = bytearray(shard_len)
+        for coeff, row_idx in zip(decode[i], rows):
+            if coeff == 0:
+                continue
+            shard = shares[row_idx]
+            for pos in range(shard_len):
+                out[pos] ^= gf_mul(coeff, shard[pos])
+        data_shards.append(out)
+    return b"".join(data_shards)[:size]

@@ -102,5 +102,43 @@ def test_check_parser_defaults():
     assert args.clients == 3
     assert args.mode == "delayed"
     assert args.seed_bug == "none"
+    assert args.replication == "none"
     with pytest.raises(SystemExit):
         build_parser().parse_args(["check", "--mode", "bogus"])
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["check", "--replication", "raid9"])
+
+
+@pytest.mark.check
+def test_check_json_failure_exits_nonzero(capsys, tmp_path):
+    """`check --json --out` must exit non-zero when the oracle fails,
+    even though the report was printed and written successfully -- a CI
+    gate that swallows the exit code is a broken gate."""
+    out_path = tmp_path / "report.json"
+    code = main(
+        [
+            "check", "--budget", "55", "--seed", "0",
+            "--seed-bug", "dedup", "--max-counterexamples", "1",
+            "--json", "--out", str(out_path),
+        ]
+    )
+    assert code == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["ok"] is False
+    assert payload["counterexamples"]
+    # The written report matches the printed one: both record failure.
+    written = json.loads(out_path.read_text())
+    assert written["ok"] is False
+
+
+def test_check_replicated_small_budget(capsys):
+    code = main(
+        [
+            "check", "--budget", "4", "--seed", "0",
+            "--replication", "mirror3", "--json",
+        ]
+    )
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["ok"] is True
+    assert payload["replication"] == "mirror3"

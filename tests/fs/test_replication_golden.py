@@ -1,0 +1,75 @@
+"""replication=none is byte-identical to the unreplicated cluster.
+
+The replicated storage group and CURP witnesses are a strict opt-in:
+with ``replication="none"`` no group object is built, no RNG stream is
+touched, and the disk serve loop takes the exact legacy path -- so the
+block trace of a golden workload is bit-for-bit what it was before this
+subsystem existed.  The digests are shared with the sharding golden
+test (both hold the same seed-11 traces).
+
+Marked ``check`` like the other heavyweight golden tests.
+"""
+
+import hashlib
+
+import pytest
+
+from repro.fs.factory import build_cluster
+from repro.workloads.filebench import VarmailWorkload
+from repro.workloads.xcdn import XcdnWorkload
+
+from tests.fs.test_sharding_golden import GOLDEN
+
+
+def _workload(name):
+    if name == "varmail":
+        return VarmailWorkload(seed_files_per_client=15)
+    if name == "xcdn-32K":
+        return XcdnWorkload(file_size=32 * 1024, seed_files_per_client=25)
+    raise ValueError(name)
+
+
+def _trace_digest(system, workload_name, replication):
+    cluster = build_cluster(
+        system, num_clients=3, seed=11, replication=replication
+    )
+    cluster.run_workload(_workload(workload_name), duration=0.4, warmup=0.1)
+    digest = hashlib.sha256()
+    for row in cluster.blktrace.to_rows():
+        digest.update(repr(row).encode())
+    return digest.hexdigest()
+
+
+@pytest.mark.check
+@pytest.mark.parametrize(
+    "system,workload",
+    [("redbud-delayed", "varmail"), ("redbud-original", "xcdn-32K")],
+)
+def test_replication_none_blktrace_matches_golden(system, workload):
+    key = (system, workload)
+    assert _trace_digest(*key, replication="none") == GOLDEN[key]
+
+
+@pytest.mark.check
+@pytest.mark.parametrize("replication", ["mirror3", "block4-2"])
+def test_replicated_trace_diverges_but_stays_deterministic(replication):
+    """A replicated cluster is a different system (secondary-ack waits
+    perturb timing), so the trace legitimately differs from the golden
+    -- but it must be self-deterministic."""
+    key = ("redbud-delayed", "varmail")
+    a = _trace_digest(*key, replication=replication)
+    b = _trace_digest(*key, replication=replication)
+    assert a == b
+    assert a != GOLDEN[key]
+
+
+def test_replication_rejected_on_non_redbud():
+    with pytest.raises(ValueError, match="redbud"):
+        build_cluster("nfs3", num_clients=3, seed=1, replication="mirror3")
+
+
+def test_unknown_arrangement_rejected():
+    with pytest.raises(ValueError, match="unknown replication"):
+        build_cluster(
+            "redbud-delayed", num_clients=3, seed=1, replication="raid9"
+        )

@@ -1,0 +1,94 @@
+"""Reed-Solomon erasure properties for the block4-2 arrangement.
+
+The headline property (an ISSUE satellite): any 4 of the 6 members
+reconstruct the stripe byte-for-byte, for every choice of survivors and
+arbitrary payloads.
+"""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.erasure import (
+    encode_stripe,
+    gf_inv,
+    gf_mul,
+    reconstruct_stripe,
+)
+
+payloads = st.binary(min_size=0, max_size=512)
+
+
+class TestField:
+    def test_inverse_round_trip(self):
+        for a in range(1, 256):
+            assert gf_mul(a, gf_inv(a)) == 1
+
+    def test_mul_zero(self):
+        assert gf_mul(0, 123) == 0
+        assert gf_mul(77, 0) == 0
+
+    def test_inv_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            gf_inv(0)
+
+
+class TestBlock42:
+    def test_geometry(self):
+        shards = encode_stripe(b"0123456789abcdef", k=4, m=2)
+        assert len(shards) == 6
+        assert len({len(s) for s in shards}) == 1
+
+    def test_systematic_prefix(self):
+        data = bytes(range(16))
+        shards = encode_stripe(data, k=4, m=2)
+        assert b"".join(shards[:4]) == data
+
+    @given(payloads)
+    @settings(max_examples=60, deadline=None)
+    def test_any_four_of_six_reconstruct(self, data):
+        shards = encode_stripe(data, k=4, m=2)
+        for survivors in itertools.combinations(range(6), 4):
+            shares = {i: shards[i] for i in survivors}
+            assert (
+                reconstruct_stripe(shares, len(data), k=4, m=2) == data
+            ), f"survivors {survivors} failed to reconstruct"
+
+    @given(payloads)
+    @settings(max_examples=30, deadline=None)
+    def test_double_loss_every_pattern(self, data):
+        shards = encode_stripe(data, k=4, m=2)
+        for lost in itertools.combinations(range(6), 2):
+            shares = {
+                i: shards[i] for i in range(6) if i not in lost
+            }
+            assert (
+                reconstruct_stripe(shares, len(data), k=4, m=2) == data
+            ), f"losing {lost} broke reconstruction"
+
+    def test_three_survivors_insufficient(self):
+        shards = encode_stripe(b"hello world!", k=4, m=2)
+        with pytest.raises(ValueError):
+            reconstruct_stripe(
+                {0: shards[0], 1: shards[1], 5: shards[5]},
+                12,
+                k=4,
+                m=2,
+            )
+
+    @given(payloads, st.integers(min_value=1, max_value=4))
+    @settings(max_examples=30, deadline=None)
+    def test_other_geometries(self, data, k):
+        m = 2
+        shards = encode_stripe(data, k=k, m=m)
+        assert len(shards) == k + m
+        # Parity-only survivors where possible: drop the first min(m, k)
+        # data shards.
+        dropped = set(range(min(m, k)))
+        shares = {
+            i: shards[i] for i in range(k + m) if i not in dropped
+        }
+        shares = {i: shares[i] for i in sorted(shares)[:k]}
+        assert reconstruct_stripe(shares, len(data), k=k, m=m) == data
