@@ -76,6 +76,17 @@ WORKLOAD_SPECS: _t.Dict[str, _t.Tuple[str, _t.Dict[str, _t.Any]]] = {
         "XcdnWorkload",
         {"file_size": 1024 * 1024, "seed_files_per_client": 8},
     ),
+    # Lean per-personality footprint for the client-count scaling sweep:
+    # at 10k clients the default seed corpus and thread count would
+    # swamp the volume and the calendar before measurement starts.
+    "xcdn-scale": (
+        "XcdnWorkload",
+        {
+            "file_size": 32 * 1024,
+            "seed_files_per_client": 2,
+            "threads_per_client": 2,
+        },
+    ),
     "npb-bt": ("NpbBtIoWorkload", {}),
 }
 
@@ -153,6 +164,57 @@ FIGURE_SWEEPS: _t.Dict[str, _t.List[_t.Dict[str, _t.Any]]] = {
 }
 
 
+def _scale_cell(
+    clients: int,
+    scheduler: str,
+    processes: _t.Optional[int] = None,
+    duration: float = 0.25,
+    warmup: float = 0.05,
+) -> _t.Dict[str, _t.Any]:
+    """One client-count scaling cell (delayed commit, lean xcdn).
+
+    ``delegation_chunk`` is shrunk so 10k clients' delegated chunks fit
+    the volume; all scale cells share it so events/sec ratios compare
+    like with like.
+    """
+    cell: _t.Dict[str, _t.Any] = {
+        "system": "redbud-delayed",
+        "workload": "xcdn-scale",
+        "clients": clients,
+        "duration": duration,
+        "warmup": warmup,
+        "shards": 1,
+        "replication": "none",
+        "scheduler": scheduler,
+        "config": {"delegation_chunk": 1024 * 1024},
+    }
+    if processes is not None:
+        cell["processes"] = processes
+    return cell
+
+
+#: The client-count scaling figure: the legacy layout (heap calendar,
+#: one node per client) against aggregate clients on the calendar
+#: queue.  The 10k legacy baseline is the pathological configuration
+#: this sweep exists to retire -- it is slow once, then cached.
+FIGURE_SWEEPS["clients"] = [
+    _scale_cell(4, "heap"),
+    _scale_cell(100, "heap"),
+    _scale_cell(1000, "heap"),
+    _scale_cell(10000, "heap", duration=0.12, warmup=0.03),
+    _scale_cell(1000, "calendar", processes=8),
+    _scale_cell(10000, "calendar", processes=16, duration=0.12,
+                warmup=0.03),
+]
+
+#: CI-sized subset: one legacy baseline and one aggregate cell at 1000
+#: clients (the 10k cells stay out of the smoke path).
+FIGURE_SWEEPS["scale-smoke"] = [
+    _scale_cell(1000, "heap"),
+    _scale_cell(1000, "calendar", processes=8),
+]
+
+
 # ---------------------------------------------------------------------------
 # Cache keys
 # ---------------------------------------------------------------------------
@@ -163,8 +225,13 @@ def code_fingerprint(root: str = _REPO_ROOT) -> str:
 
     Committed state is captured by the git *tree* hash (not the commit
     hash -- rebases and amended messages must not invalidate the cache),
-    plus a digest of uncommitted modifications.  Falls back to hashing
-    every file under ``src/`` when git is unavailable.
+    plus a digest of uncommitted modifications *and* of untracked files
+    under ``src/`` and ``benchmarks/``.  Untracked coverage matters:
+    a brand-new module (say a fresh ``repro.sim`` scheduler) is
+    invisible to ``git diff HEAD``, and without it stale cells were
+    served for code the cache key had never seen.  Falls back to
+    hashing every Python file under ``src/`` and ``benchmarks/`` when
+    git is unavailable.
     """
     try:
         tree = subprocess.run(
@@ -181,18 +248,50 @@ def code_fingerprint(root: str = _REPO_ROOT) -> str:
         ).stdout
         if dirty:
             tree += "+" + hashlib.sha256(dirty.encode()).hexdigest()[:16]
+        untracked = subprocess.run(
+            [
+                "git", "-C", root, "ls-files", "--others",
+                "--exclude-standard", "--", "src", "benchmarks",
+            ],
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.split("\n")
+        extra = hashlib.sha256()
+        seen = False
+        for rel in sorted(p for p in untracked if p):
+            path = os.path.join(root, rel)
+            try:
+                with open(path, "rb") as fh:
+                    content = fh.read()
+            except OSError:
+                continue
+            seen = True
+            extra.update(rel.encode())
+            extra.update(content)
+        if seen:
+            tree += "~" + extra.hexdigest()[:16]
         return tree
     except (OSError, subprocess.CalledProcessError):
         digest = hashlib.sha256()
-        src = os.path.join(root, "src")
-        for dirpath, dirnames, filenames in sorted(os.walk(src)):
-            dirnames[:] = sorted(d for d in dirnames if d != "__pycache__")
-            for name in sorted(filenames):
-                if name.endswith(".py"):
-                    path = os.path.join(dirpath, name)
-                    digest.update(path.encode())
-                    with open(path, "rb") as fh:
-                        digest.update(fh.read())
+        for top in ("src", "benchmarks"):
+            tree_root = os.path.join(root, top)
+            if not os.path.isdir(tree_root):
+                continue
+            for dirpath, dirnames, filenames in sorted(
+                os.walk(tree_root)
+            ):
+                dirnames[:] = sorted(
+                    d for d in dirnames if d != "__pycache__"
+                )
+                for name in sorted(filenames):
+                    if name.endswith(".py"):
+                        path = os.path.join(dirpath, name)
+                        digest.update(
+                            os.path.relpath(path, root).encode()
+                        )
+                        with open(path, "rb") as fh:
+                            digest.update(fh.read())
         return "src-" + digest.hexdigest()
 
 
@@ -241,12 +340,18 @@ def run_cell(cell: _t.Dict[str, _t.Any]) -> _t.Dict[str, _t.Any]:
     cls_name, kwargs = WORKLOAD_SPECS[cell["workload"]]
     workload = getattr(workloads, cls_name)(**kwargs)
     t0 = time.perf_counter()
+    extra = dict(cell.get("config") or {})
+    if cell.get("scheduler"):
+        extra["scheduler"] = cell["scheduler"]
+    if cell.get("processes"):
+        extra["client_processes"] = cell["processes"]
     cluster = build_cluster(
         cell["system"],
         num_clients=cell["clients"],
         seed=cell["seed"],
         shards=cell.get("shards", 1),
         replication=cell.get("replication", "none"),
+        **extra,
     )
     result = cluster.run_workload(
         workload, duration=cell["duration"], warmup=cell["warmup"]
@@ -373,7 +478,7 @@ def run_sweep(
     # the headline events/sec stays meaningful on a fully-cached rerun.
     total_events = sum(r["events"] for r in ordered)
     total_cell_wall = sum(r["wall_time"] for r in ordered)
-    return {
+    report = {
         "figure": figure,
         "seeds": seeds,
         "base_seed": base_seed,
@@ -399,6 +504,55 @@ def run_sweep(
         },
         "cells": ordered,
     }
+    scaling = derive_scaling(ordered)
+    if scaling:
+        report["scaling"] = scaling
+    return report
+
+
+def derive_scaling(
+    records: _t.List[_t.Dict[str, _t.Any]],
+) -> _t.List[_t.Dict[str, _t.Any]]:
+    """Per-client-count speedup of the aggregate/calendar configuration
+    over the legacy layout (heap calendar, one node per client).
+
+    Only meaningful for figures whose cells carry a ``scheduler`` key
+    (the ``clients`` / ``scale-smoke`` sweeps); returns ``[]`` for the
+    classic figures so their reports are unchanged.
+    """
+    by_kind: _t.Dict[
+        _t.Tuple[int, str], _t.List[_t.Dict[str, _t.Any]]
+    ] = {}
+    for record in records:
+        cell = record["cell"]
+        scheduler = cell.get("scheduler")
+        if not scheduler:
+            continue
+        kind = "aggregate" if cell.get("processes") else "legacy"
+        by_kind.setdefault((cell["clients"], kind), []).append(record)
+
+    def rate(group: _t.List[_t.Dict[str, _t.Any]]) -> float:
+        events = sum(r["events"] for r in group)
+        wall = sum(r["wall_time"] for r in group)
+        return events / wall if wall else 0.0
+
+    rows = []
+    clients_seen = sorted({c for c, _ in by_kind})
+    for clients in clients_seen:
+        legacy = by_kind.get((clients, "legacy"))
+        aggregate = by_kind.get((clients, "aggregate"))
+        row: _t.Dict[str, _t.Any] = {"clients": clients}
+        if legacy:
+            row["legacy_events_per_second"] = rate(legacy)
+        if aggregate:
+            row["aggregate_events_per_second"] = rate(aggregate)
+        if legacy and aggregate:
+            base = row["legacy_events_per_second"]
+            row["speedup"] = (
+                row["aggregate_events_per_second"] / base if base else 0.0
+            )
+        rows.append(row)
+    return rows
 
 
 def write_report(report: _t.Dict[str, _t.Any], path: str) -> None:

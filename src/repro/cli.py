@@ -280,6 +280,22 @@ def cmd_run(args: argparse.Namespace) -> int:
             )
             return 2
         config_kw["replication"] = args.replication
+    if getattr(args, "processes", None) is not None:
+        if getattr(args, "faults", None):
+            # Fault specs address clients by node index (client_death=3
+            # kills simulated node 3); under aggregation a node hosts
+            # many personalities and the legacy indexing is meaningless.
+            print(
+                "error: --processes cannot be combined with --faults "
+                "(fault client indexing assumes one node per client)",
+                file=sys.stderr,
+            )
+            return 2
+        config_kw["client_processes"] = args.processes
+    if getattr(args, "scheduler", None) is not None:
+        config_kw["scheduler"] = args.scheduler
+    if getattr(args, "delegation_chunk", None) is not None:
+        config_kw["delegation_chunk"] = args.delegation_chunk
     cluster = build_cluster(
         args.system, num_clients=args.clients, seed=args.seed, obs=obs,
         **config_kw,
@@ -950,6 +966,34 @@ def build_parser() -> argparse.ArgumentParser:
         "shard_partition=K@T0-T1, disk_loss=M@T[:R], crash@T -- e.g. "
         "'loss=0.05,mds_restart@0.5:0.2,disk_loss=1@0.3:0.2' "
         "(disk_loss needs --replication)",
+    )
+    p_run.add_argument(
+        "--processes",
+        type=int,
+        default=None,
+        metavar="P",
+        help="simulated client nodes to multiplex --clients workload "
+        "personalities onto (aggregate clients; default: one node per "
+        "client). --clients 10000 --processes 16 runs a 10k-client "
+        "population on 16 nodes. Incompatible with --faults",
+    )
+    p_run.add_argument(
+        "--scheduler",
+        choices=("calendar", "heap"),
+        default=None,
+        help="event-calendar implementation (default calendar); both "
+        "dispatch in the identical order, heap is the reference "
+        "baseline for scaling comparisons",
+    )
+    p_run.add_argument(
+        "--delegation-chunk",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="space-delegation chunk size (default 16 MiB). Lower it "
+        "for huge --clients runs: every client pools two chunks, so "
+        "10000 clients need chunks small enough to fit the volume "
+        "(e.g. 1048576)",
     )
     p_run.add_argument(
         "--slo",

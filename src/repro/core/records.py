@@ -40,6 +40,9 @@ class CommitRecord:
         "require_data_stable",
         "trace_ids",
         "trace_span",
+        "pending_data",
+        "queue_seq",
+        "_stable",
     )
 
     def __init__(
@@ -69,13 +72,33 @@ class CommitRecord:
         #: empty/None -- when tracing is off).
         self.trace_ids: _t.Tuple[int, ...] = ()
         self.trace_span: _t.Optional[_t.Any] = None
+        #: Distinct data events still in flight, maintained by the owning
+        #: :class:`~repro.core.commit_queue.CommitQueue`'s stability
+        #: watch.  Purely an accelerator: a positive count proves the
+        #: record unstable without touching ``data_events``, which keeps
+        #: the daemons' checkout scans O(1) per record at 10k-client
+        #: queue depths.  Free-standing records (no queue) leave it at 0
+        #: and fall back to the full scan.
+        self.pending_data = 0
+        #: Arrival sequence in the owning queue (FIFO checkout key).
+        self.queue_seq = -1
+        self._stable = False
 
     @property
     def data_stable(self) -> bool:
         """True when every backing data write has hit the disk."""
         if not self.require_data_stable:
             return True
-        return all(ev.processed for ev in self.data_events)
+        if self._stable:
+            return True
+        if self.pending_data:
+            return False
+        if all(ev.processed for ev in self.data_events):
+            # Stability is monotonic until the next merge (processed
+            # events never un-process); absorb() resets the cache.
+            self._stable = True
+            return True
+        return False
 
     @property
     def committed(self) -> bool:
@@ -91,6 +114,7 @@ class CommitRecord:
             )
         self.extents.extend(extents)
         self.data_events.extend(data_events)
+        self._stable = False
 
     def age(self) -> float:
         return self.env.now - self.enqueue_time

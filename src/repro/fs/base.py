@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from repro.analysis.metrics import LatencyStats, OpMetrics
 from repro.client.filesystem import FileSystemAPI
 from repro.sim import Environment, StreamRNG
+from repro.workloads.aggregate import aggregate_thread
 from repro.workloads.spec import Workload, WorkloadContext
 
 
@@ -85,6 +86,13 @@ class BaseCluster:
     def num_clients(self) -> int:
         raise NotImplementedError
 
+    @property
+    def num_client_nodes(self) -> int:
+        """Simulated client nodes; < ``num_clients`` under aggregation."""
+        config = getattr(self, "config", None)
+        processes = getattr(config, "client_processes", None)
+        return processes or self.num_clients
+
     def collect_extras(self) -> _t.Dict[str, _t.Any]:
         """System-specific stats folded into the RunResult."""
         return {}
@@ -115,11 +123,25 @@ class BaseCluster:
                 workload.recommended_cache_capacity
             )
         env = self.env
+        nodes = self.num_client_nodes
+        aggregated = nodes != self.num_clients
+        if aggregated and not workload.aggregatable:
+            raise ValueError(
+                f"workload {workload.name!r} cannot run on aggregate "
+                f"client nodes (client_processes={nodes} < "
+                f"num_clients={self.num_clients}): it synchronises "
+                "across all clients"
+            )
         shared: _t.Dict[str, _t.Any] = {}
+        # One context per *personality*, always: under aggregation the
+        # personalities keep their own RNG substreams, metrics and
+        # private state and only share a node's endpoint (personality p
+        # lives on node p % nodes -- the identity map when not
+        # aggregated).  See ``repro.workloads.aggregate``.
         contexts = [
             WorkloadContext(
                 env=env,
-                fs=self.client_fs(i),
+                fs=self.client_fs(i % nodes),
                 rng=self.root_rng.stream("workload", i),
                 client_index=i,
                 num_clients=self.num_clients,
@@ -153,12 +175,27 @@ class BaseCluster:
                 ctx.measuring = True
 
         env.process(start_measuring(), name="measure-gate")
-        for ctx in contexts:
-            for tid in range(workload.threads_per_client):
-                env.process(
-                    thread_body(ctx, tid),
-                    name=f"app-c{ctx.client_index}-t{tid}",
-                )
+        if not aggregated:
+            for ctx in contexts:
+                for tid in range(workload.threads_per_client):
+                    env.process(
+                        thread_body(ctx, tid),
+                        name=f"app-c{ctx.client_index}-t{tid}",
+                    )
+        else:
+            for node in range(nodes):
+                node_ctxs = contexts[node::nodes]
+                for tid in range(workload.threads_per_client):
+                    env.process(
+                        aggregate_thread(
+                            workload,
+                            node_ctxs,
+                            self.root_rng.stream("aggregate", node, tid),
+                            tid,
+                            deadline,
+                        ),
+                        name=f"agg-n{node}-t{tid}",
+                    )
         env.run(until=deadline)
 
         metrics = OpMetrics()

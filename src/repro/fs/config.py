@@ -32,8 +32,22 @@ class LinkParameters:
 class ClusterConfig:
     """Complete description of one simulated cluster."""
 
-    #: Client nodes (the paper uses 7 clients + 1 MDS).
+    #: Logical clients -- workload personalities (the paper uses 7
+    #: clients + 1 MDS).
     num_clients: int = 7
+    #: Simulated client *node processes* to multiplex those personalities
+    #: onto, or ``None`` for one node per client (the legacy layout,
+    #: byte-identical to builds without the aggregation machinery).
+    #: Setting e.g. ``num_clients=10000, client_processes=16`` gives a
+    #: 10k-client population served by 16 aggregate nodes: client count
+    #: decouples from process count, which is what makes 10k-client runs
+    #: tractable (see ``repro.workloads.aggregate``).
+    client_processes: _t.Optional[int] = None
+    #: Event-calendar implementation: ``calendar`` (bucketed calendar
+    #: queue, the default) or ``heap`` (the reference binary heap).
+    #: Both dispatch in the identical total order; the knob exists for
+    #: the scheduler-scaling benchmarks and equivalence tests.
+    scheduler: str = "calendar"
     #: ``synchronous`` (original Redbud), ``delayed``, or ``unordered``
     #: (the deliberately broken control mode for consistency tests).
     commit_mode: str = "synchronous"
@@ -94,9 +108,28 @@ class ClusterConfig:
     #: allocation bursts while keeping the same scattering behaviour.
     ag_strategy: str = "random"
 
+    @property
+    def client_nodes(self) -> int:
+        """Simulated client node processes actually built."""
+        return self.client_processes or self.num_clients
+
     def __post_init__(self) -> None:
         if self.num_clients <= 0:
             raise ValueError(f"num_clients must be positive: {self.num_clients}")
+        if self.client_processes is not None and not (
+            1 <= self.client_processes <= self.num_clients
+        ):
+            raise ValueError(
+                f"client_processes must be in [1, num_clients="
+                f"{self.num_clients}], got {self.client_processes}"
+            )
+        from repro.sim.engine import SCHEDULERS
+
+        if self.scheduler not in SCHEDULERS:
+            raise ValueError(
+                f"unknown scheduler {self.scheduler!r}; choose from "
+                f"{sorted(SCHEDULERS)}"
+            )
         if self.commit_mode not in ("synchronous", "delayed", "unordered"):
             raise ValueError(f"unknown commit_mode {self.commit_mode!r}")
         if self.space_delegation and self.commit_mode == "synchronous":

@@ -37,6 +37,11 @@ def build_cluster(
     ``replication`` (redbud systems only) puts a replicated storage
     group behind the disk array (``mirror3`` / ``block4-2``);
     ``replication="none"`` is byte-identical to an unreplicated build.
+    Any other keyword lands on :class:`ClusterConfig` -- notably
+    ``client_processes`` (aggregate client nodes: ``num_clients``
+    personalities multiplexed onto that many simulated nodes, see
+    ``repro.workloads.aggregate``) and ``scheduler`` (``calendar`` or
+    ``heap`` event calendar).
     """
     shards = config_kw.pop("shards", None)
     if shards is not None and shards > 1 and not system.startswith(

@@ -347,7 +347,9 @@ class Nfs3Cluster(BaseCluster):
         seed: int = 0,
         obs: _t.Optional[_t.Any] = None,
     ) -> None:
-        super().__init__(Environment(), seed=seed, obs=obs)
+        super().__init__(
+            Environment(scheduler=config.scheduler), seed=seed, obs=obs
+        )
         self.config = config
         env = self.env
 
@@ -390,7 +392,7 @@ class Nfs3Cluster(BaseCluster):
                 ),
                 cache_capacity=config.client_cache_capacity,
             )
-            for cid in range(config.num_clients)
+            for cid in range(config.client_nodes)
         ]
 
     @property

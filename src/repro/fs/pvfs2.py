@@ -346,10 +346,12 @@ class Pvfs2Cluster(BaseCluster):
         stripe_size: int = 1024 * 1024,
         obs: _t.Optional[_t.Any] = None,
     ) -> None:
-        super().__init__(Environment(), seed=seed, obs=obs)
+        super().__init__(
+            Environment(scheduler=config.scheduler), seed=seed, obs=obs
+        )
         self.config = config
         env = self.env
-        n_servers = num_data_servers or config.num_clients
+        n_servers = num_data_servers or config.client_nodes
 
         self.meta = Pvfs2MetaServer(env, config.link)
         # All data servers share the testbed's FC disk array, each owning
@@ -370,7 +372,7 @@ class Pvfs2Cluster(BaseCluster):
             for sid in range(n_servers)
         ]
         self.clients = []
-        for cid in range(config.num_clients):
+        for cid in range(config.client_nodes):
             meta_rpc = RpcClient(
                 env,
                 cid,

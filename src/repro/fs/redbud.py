@@ -58,7 +58,9 @@ class RedbudCluster(BaseCluster):
         seed: int = 0,
         obs: _t.Optional[_t.Any] = None,
     ) -> None:
-        super().__init__(Environment(), seed=seed, obs=obs)
+        super().__init__(
+            Environment(scheduler=config.scheduler), seed=seed, obs=obs
+        )
         self.config = config
         env = self.env
         num_shards = config.mds.shards
@@ -138,7 +140,7 @@ class RedbudCluster(BaseCluster):
         self.downlinks = downlinks
         self.clients: _t.List[RedbudClient] = []
         self.uplinks: _t.List[Link] = []
-        for cid in range(config.num_clients):
+        for cid in range(config.client_nodes):
             uplink = Link(
                 env,
                 bandwidth=config.link.bandwidth,

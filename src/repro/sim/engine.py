@@ -1,10 +1,26 @@
 """The virtual clock and event calendar.
 
-:class:`Environment` owns a binary heap of ``(time, priority, sequence,
+:class:`Environment` owns a scheduler of ``(time, priority, sequence,
 event)`` entries.  :meth:`Environment.step` pops the earliest entry,
 advances ``now`` and runs the event's callbacks; :meth:`Environment.run`
 steps until the calendar empties, a deadline passes, or a given event
 fires.
+
+Two interchangeable scheduler implementations back the calendar:
+
+- :class:`CalendarQueue` (the default) -- a bucketed calendar queue in
+  the style of Brown (CACM 1988): events hash into ``floor(t / width)``
+  buckets over a power-of-two ring, the current bucket serves pops in
+  O(1) amortized, and far-future events (lease expiries, retry backoff)
+  park in a binary-heap overflow lane until the bucket horizon reaches
+  them.  Bucket count and width resize themselves from the observed
+  event population (see ``_rebuild``).
+- :class:`HeapScheduler` -- the classic global binary heap, kept both as
+  the reference implementation the property tests compare against and
+  as a selectable fallback (``Environment(scheduler="heap")``).
+
+Both produce the *exact same pop order*; the calendar is purely a
+constant-factor/asymptotic win, never a semantic change.
 
 Determinism
 -----------
@@ -13,12 +29,21 @@ such as process initialisation fire first), then on a monotonically
 increasing sequence number.  Two runs of the same model with the same RNG
 seeds therefore produce identical traces -- a property the reproduction's
 tests rely on heavily.
+
+Cancelled timeouts
+------------------
+:meth:`~repro.sim.events.Timeout.cancel` tombstones an entry in place
+(its callback list becomes ``None``); the pop loops skip tombstones, and
+the environment compacts the scheduler when cancelled entries outnumber
+live ones, so retry/backoff churn cannot bloat the calendar.
 """
 
 from __future__ import annotations
 
 import heapq
+import math
 import typing as _t
+from sys import getrefcount as _getrefcount
 
 from repro.sim.events import (
     PRIORITY_NORMAL,
@@ -33,6 +58,17 @@ from repro.sim.process import Process
 # event, so even the ``heapq.`` attribute lookup is measurable.
 _heappush = heapq.heappush
 _heappop = heapq.heappop
+_heapify = heapq.heapify
+_floor = math.floor
+_INF = float("inf")
+
+#: Recycled Timeout objects kept per environment (see ``Environment.timeout``).
+_TIMEOUT_POOL_MAX = 1024
+
+#: Entry tuple: (time, priority, seq, event, push_time).  The trailing
+#: push-time element never participates in ordering (the sequence number
+#: is unique); it feeds the event-loop-lag probe when one is installed.
+Entry = _t.Tuple[float, int, int, Event, float]
 
 
 class SimulationError(Exception):
@@ -46,6 +82,284 @@ class _StopRun(Exception):
         self.event = event
 
 
+class HeapScheduler:
+    """The classic single binary heap over all pending entries.
+
+    Kept as the reference ordering (property tests diff the calendar
+    queue against it) and as an explicit fallback via
+    ``Environment(scheduler="heap")``.
+    """
+
+    __slots__ = ("_heap",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._heap: _t.List[Entry] = []
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, entry: Entry) -> None:
+        _heappush(self._heap, entry)
+
+    def pop(self) -> _t.Optional[Entry]:
+        """Earliest entry, or ``None`` when empty (never raises)."""
+        heap = self._heap
+        return _heappop(heap) if heap else None
+
+    def peek_time(self) -> float:
+        heap = self._heap
+        return heap[0][0] if heap else _INF
+
+    def purge_cancelled(self) -> int:
+        """Drop tombstoned entries (cancelled events); return the count."""
+        heap = self._heap
+        keep = [e for e in heap if e[3].callbacks is not None]
+        removed = len(heap) - len(keep)
+        if removed:
+            _heapify(keep)
+            self._heap = keep
+        return removed
+
+
+class CalendarQueue:
+    """Bucketed calendar queue with a far-future overflow heap.
+
+    Entries hash into ``floor(t / width) & (nbuckets - 1)`` buckets (each
+    bucket a tiny heap, so intra-bucket priority/sequence ties stay
+    exact).  A pop serves the current bucket if its head falls inside the
+    bucket's current "year" window; otherwise the scan rotates forward
+    one bucket-width at a time.  Entries beyond the ring's horizon
+    (``nbuckets * width`` ahead) park in a binary-heap overflow lane and
+    migrate into buckets as the horizon advances -- the migration is what
+    keeps the **invariant that every overflow entry sorts after every
+    bucketed entry**, which in turn is what makes the current-bucket fast
+    path safe.
+
+    Resizing: the bucket ring doubles when the population exceeds two
+    entries per bucket and halves when it drops below one per two
+    buckets; each rebuild re-tunes the bucket width to three times the
+    median inter-event gap, snapped to a power of two so boundary
+    arithmetic stays exact (no bucket-edge float drift).
+    """
+
+    MIN_BUCKETS = 16
+    MAX_BUCKETS = 1 << 17
+
+    __slots__ = (
+        "_buckets",
+        "_nbuckets",
+        "_mask",
+        "_width",
+        "_cur",
+        "_bucket_top",
+        "_horizon",
+        "_overflow",
+        "_size",
+        "_last",
+    )
+
+    def __init__(self, start: float = 0.0, width: float = 2.0 ** -14) -> None:
+        self._overflow: _t.List[Entry] = []
+        self._size = 0
+        self._last = start
+        self._layout(self.MIN_BUCKETS, width, start)
+
+    def __len__(self) -> int:
+        return self._size
+
+    # -- geometry ----------------------------------------------------------
+
+    def _layout(self, nbuckets: int, width: float, start: float) -> None:
+        """(Re)build an empty ring anchored so ``start`` is in-window."""
+        self._nbuckets = nbuckets
+        self._mask = nbuckets - 1
+        self._width = width
+        self._buckets: _t.List[_t.List[Entry]] = [
+            [] for _ in range(nbuckets)
+        ]
+        k = _floor(start / width)
+        self._cur = k & self._mask
+        self._bucket_top = (k + 1.0) * width
+        self._horizon = self._bucket_top + (nbuckets - 1) * width
+
+    def _rebuild(self, nbuckets: int) -> None:
+        entries = [e for bucket in self._buckets for e in bucket]
+        entries.extend(self._overflow)
+        self._overflow = []
+        width = self._tuned_width(entries) or self._width
+        self._layout(nbuckets, width, self._last)
+        horizon = self._horizon
+        mask = self._mask
+        buckets = self._buckets
+        overflow = self._overflow
+        for entry in entries:
+            t = entry[0]
+            if t < horizon:
+                _heappush(buckets[_floor(t / width) & mask], entry)
+            else:
+                _heappush(overflow, entry)
+
+    def _tuned_width(self, entries: _t.List[Entry]) -> _t.Optional[float]:
+        """Three times the median inter-event gap, snapped to 2**k."""
+        if len(entries) < 2:
+            return None
+        times = sorted(e[0] for e in entries if e[0] != _INF)
+        gaps = sorted(
+            b - a for a, b in zip(times, times[1:]) if b > a
+        )
+        if not gaps:
+            return None
+        target = 3.0 * gaps[len(gaps) // 2]
+        return 2.0 ** max(-60, min(20, round(math.log2(target))))
+
+    # -- scheduler surface -------------------------------------------------
+
+    def push(self, entry: Entry) -> None:
+        t = entry[0]
+        if t < self._horizon:
+            _heappush(
+                self._buckets[_floor(t / self._width) & self._mask], entry
+            )
+        else:
+            _heappush(self._overflow, entry)
+        size = self._size + 1
+        self._size = size
+        if size > (self._nbuckets << 1) and self._nbuckets < self.MAX_BUCKETS:
+            self._rebuild(self._nbuckets << 1)
+
+    def pop(self) -> _t.Optional[Entry]:
+        """Earliest entry, or ``None`` when empty (never raises)."""
+        if self._size == 0:
+            return None
+        bucket = self._buckets[self._cur]
+        if bucket and bucket[0][0] < self._bucket_top:
+            self._size -= 1
+            entry = _heappop(bucket)
+            self._last = entry[0]
+            return entry
+        return self._pop_slow()
+
+    def _pop_slow(self) -> Entry:
+        """Rotate the ring forward; fall back to a direct min search."""
+        if (
+            self._size < (self._nbuckets >> 1)
+            and self._nbuckets > self.MIN_BUCKETS
+        ):
+            # Sparse ring: shrinking re-anchors the window at the last
+            # popped time, which usually makes the next pop O(1) again.
+            # Retry from the top -- the re-anchored *current* bucket may
+            # now hold the minimum, and the rotation below starts by
+            # advancing past it.
+            self._rebuild(self._nbuckets >> 1)
+            return self.pop()
+        buckets = self._buckets
+        width = self._width
+        mask = self._mask
+        overflow = self._overflow
+        i = self._cur
+        top = self._bucket_top
+        for _ in range(self._nbuckets):
+            i = (i + 1) & mask
+            top += width
+            horizon = self._horizon + width
+            self._horizon = horizon
+            # Horizon advanced one bucket: anything in the overflow lane
+            # that the window now covers must move into its bucket *now*
+            # or a later bucketed entry could be served before it.
+            while overflow and overflow[0][0] < horizon:
+                moved = _heappop(overflow)
+                _heappush(buckets[_floor(moved[0] / width) & mask], moved)
+            bucket = buckets[i]
+            if bucket and bucket[0][0] < top:
+                self._cur = i
+                self._bucket_top = top
+                self._size -= 1
+                entry = _heappop(bucket)
+                self._last = entry[0]
+                return entry
+        return self._pop_direct()
+
+    def _pop_direct(self) -> Entry:
+        """No entry within a full rotation: jump to the global minimum.
+
+        Equal times always land in the same bucket, so comparing bucket
+        heads (full tuples, so priority/seq ties stay exact) against the
+        overflow head finds the true minimum.
+        """
+        best: _t.Optional[Entry] = None
+        for bucket in self._buckets:
+            if bucket and (best is None or bucket[0] < best):
+                best = bucket[0]
+        overflow = self._overflow
+        if overflow and (best is None or overflow[0] < best):
+            best = overflow[0]
+        assert best is not None  # _size > 0
+        t = best[0]
+        if t == _INF:
+            # Degenerate (delay=inf): serve straight from the overflow
+            # heap; floor(inf / width) has no bucket.
+            self._size -= 1
+            return _heappop(overflow)
+        width = self._width
+        mask = self._mask
+        k = _floor(t / width)
+        self._cur = k & mask
+        self._bucket_top = (k + 1.0) * width
+        horizon = self._bucket_top + mask * width
+        if horizon > self._horizon:
+            self._horizon = horizon
+            buckets = self._buckets
+            while overflow and overflow[0][0] < horizon:
+                moved = _heappop(overflow)
+                _heappush(buckets[_floor(moved[0] / width) & mask], moved)
+        bucket = self._buckets[self._cur]
+        self._size -= 1
+        entry = _heappop(bucket)
+        self._last = entry[0]
+        return entry
+
+    def peek_time(self) -> float:
+        if self._size == 0:
+            return _INF
+        bucket = self._buckets[self._cur]
+        if bucket and bucket[0][0] < self._bucket_top:
+            return bucket[0][0]
+        best = _INF
+        for bucket in self._buckets:
+            if bucket and bucket[0][0] < best:
+                best = bucket[0][0]
+        overflow = self._overflow
+        if overflow and overflow[0][0] < best:
+            best = overflow[0][0]
+        return best
+
+    def purge_cancelled(self) -> int:
+        """Drop tombstoned entries (cancelled events); return the count."""
+        removed = 0
+        for bucket in self._buckets:
+            if bucket:
+                keep = [e for e in bucket if e[3].callbacks is not None]
+                if len(keep) != len(bucket):
+                    removed += len(bucket) - len(keep)
+                    _heapify(keep)
+                    bucket[:] = keep
+        overflow = self._overflow
+        keep = [e for e in overflow if e[3].callbacks is not None]
+        if len(keep) != len(overflow):
+            removed += len(overflow) - len(keep)
+            _heapify(keep)
+            overflow[:] = keep
+        self._size -= removed
+        return removed
+
+
+#: Name -> implementation for ``Environment(scheduler=...)``.
+SCHEDULERS: _t.Dict[str, _t.Type] = {
+    "calendar": CalendarQueue,
+    "heap": HeapScheduler,
+}
+
+
 class Environment:
     """Execution environment for a single simulation.
 
@@ -53,17 +367,52 @@ class Environment:
     ----------
     initial_time:
         The virtual time at which the clock starts (seconds).
+    scheduler:
+        ``"calendar"`` (default, O(1) amortized) or ``"heap"`` (the
+        reference binary heap).  Both dispatch in the identical
+        ``(time, priority, seq)`` total order.
     """
 
-    __slots__ = ("_now", "_queue", "_seq", "_active_process", "probe")
+    __slots__ = (
+        "_now",
+        "_queue",
+        "_seq",
+        "_active_process",
+        "probe",
+        "_push",
+        "_pop",
+        "_timeout_pool",
+        "_cancelled",
+        "scheduler",
+    )
 
-    def __init__(self, initial_time: float = 0.0) -> None:
+    def __init__(
+        self, initial_time: float = 0.0, scheduler: str = "calendar"
+    ) -> None:
         self._now = float(initial_time)
-        self._queue: _t.List[
-            _t.Tuple[float, int, int, Event, float]
-        ] = []
+        try:
+            queue_cls = SCHEDULERS[scheduler]
+        except KeyError:
+            raise ValueError(
+                f"unknown scheduler {scheduler!r}; choose from "
+                f"{sorted(SCHEDULERS)}"
+            ) from None
+        #: The scheduler name this environment runs on (read-only intent).
+        self.scheduler = scheduler
+        self._queue = queue_cls(start=self._now)
+        # Bound methods: one attribute hop saved on the two operations
+        # that run once per simulated event.
+        self._push = self._queue.push
+        self._pop = self._queue.pop
         self._seq = 0
         self._active_process: _t.Optional[Process] = None
+        #: Recycled Timeout objects (see :meth:`timeout`): a popped
+        #: Timeout nobody else references goes back here instead of to
+        #: the allocator, so steady-state think/RPC-timer churn allocates
+        #: near-zero event objects.
+        self._timeout_pool: _t.List[Timeout] = []
+        #: Cancelled-but-still-queued entries (tombstones).
+        self._cancelled = 0
         #: Optional observability probe (see ``repro.obs``): when set,
         #: :meth:`step` reports each event's calendar sojourn time and
         #: the calendar depth.  Recording only -- the probe never alters
@@ -92,6 +441,11 @@ class Environment:
         """
         return self._seq
 
+    @property
+    def pending_events(self) -> int:
+        """Entries currently on the calendar (tombstones included)."""
+        return len(self._queue)
+
     # -- event factories ---------------------------------------------------
 
     def event(self) -> Event:
@@ -99,7 +453,25 @@ class Environment:
         return Event(self)
 
     def timeout(self, delay: float, value: _t.Any = None) -> Timeout:
-        """An event that fires ``delay`` seconds from now."""
+        """An event that fires ``delay`` seconds from now.
+
+        Serves from the environment's free list when possible: a
+        recycled Timeout is indistinguishable from a fresh one (same
+        state transitions, same scheduling order) -- only the allocation
+        is skipped.
+        """
+        pool = self._timeout_pool
+        if pool:
+            if delay < 0:
+                raise ValueError(f"negative delay {delay}")
+            timer = pool.pop()
+            timer.callbacks = []
+            timer._value = value
+            timer._ok = True
+            timer._defused = False
+            timer.delay = delay
+            self.schedule(timer, delay=delay)
+            return timer
         return Timeout(self, delay, value)
 
     def process(
@@ -127,34 +499,81 @@ class Environment:
         priority: int = PRIORITY_NORMAL,
     ) -> None:
         """Place a triggered event on the calendar ``delay`` from now."""
-        # The trailing push-time element never participates in ordering
-        # (the sequence number is unique); it feeds the event-loop-lag
-        # probe when one is installed.
         seq = self._seq
         self._seq = seq + 1
         now = self._now
-        _heappush(self._queue, (now + delay, priority, seq, event, now))
+        self._push((now + delay, priority, seq, event, now))
 
     def peek(self) -> float:
-        """Time of the next scheduled event, or ``inf`` if none."""
-        return self._queue[0][0] if self._queue else float("inf")
+        """Time of the next scheduled entry, or ``inf`` if none.
+
+        Consistent across both scheduler implementations (the old heap
+        path leaked ``IndexError`` from ``heapq`` internals on some call
+        patterns).  A cancelled-but-unpopped timeout still counts -- its
+        tombstone occupies the slot until swept.
+        """
+        return self._queue.peek_time()
+
+    def _note_cancelled(self) -> None:
+        """A queued entry was tombstoned (see ``Timeout.cancel``).
+
+        When tombstones outnumber live entries the scheduler is
+        compacted, so repeated cancel/reschedule churn (RPC retry timers,
+        backoff) keeps the calendar bounded by the *live* event count.
+        """
+        cancelled = self._cancelled + 1
+        queue = self._queue
+        if cancelled >= 64 and (cancelled << 1) > len(queue):
+            queue.purge_cancelled()
+            self._cancelled = 0
+        else:
+            self._cancelled = cancelled
+
+    def _recycle(self, event: Event) -> None:
+        """Return a dead Timeout to the free list if nothing else can see it.
+
+        ``getrefcount == 3`` means the only references are the event
+        loop's local, this frame's parameter and getrefcount's own
+        argument -- no process, condition or user code holds the object,
+        so reuse is invisible.  Exact-type check: subclasses may carry
+        extra state we must not resurrect.
+        """
+        if type(event) is Timeout and _getrefcount(event) == 3:
+            pool = self._timeout_pool
+            if len(pool) < _TIMEOUT_POOL_MAX:
+                pool.append(event)
 
     def step(self) -> None:
-        """Process the next scheduled event.
+        """Process the next scheduled event (skipping tombstones).
 
         Raises
         ------
-        IndexError
-            If the calendar is empty.
         SimulationError
-            If the event failed and nobody defused the failure.
+            If the calendar is empty, or the event failed and nobody
+            defused the failure.
         """
-        when, _prio, _seq, event, pushed = _heappop(self._queue)
+        entry = self._pop()
+        if entry is None:
+            raise SimulationError(
+                "cannot step: the event calendar is empty"
+            )
+        while True:
+            when, _prio, _seq, event, pushed = entry
+            del entry
+            callbacks = event.callbacks
+            if callbacks is not None:
+                break
+            # Tombstone: a timeout cancelled after scheduling.
+            self._cancelled -= 1
+            self._recycle(event)
+            entry = self._pop()
+            if entry is None:
+                return  # only tombstones remained; nothing to process
         self._now = when
         if self.probe is not None:
             self.probe.on_step(when - pushed, len(self._queue) + 1)
 
-        callbacks, event.callbacks = event.callbacks, None
+        event.callbacks = None
         for callback in callbacks:
             callback(event)
 
@@ -163,6 +582,7 @@ class Environment:
             raise SimulationError(
                 f"unhandled failure in {event!r}: {cause!r}"
             ) from cause
+        self._recycle(event)
 
     def run(self, until: _t.Union[None, float, Event] = None) -> _t.Any:
         """Run the simulation.
@@ -204,15 +624,26 @@ class Environment:
             # inlined here with the probe branch hoisted out entirely --
             # the pop order (and therefore every trace) is identical to
             # repeated ``step()`` calls; only the Python overhead per
-            # event differs.  ``self._queue`` is never rebound, so the
-            # local alias stays valid across callbacks that schedule.
-            queue = self._queue
-            pop = _heappop
+            # event differs.  The scheduler object is never rebound, so
+            # the local aliases stay valid across callbacks that schedule.
+            pop = self._pop
+            recycle = self._recycle
             if self.probe is None:
-                while queue:
-                    when, _prio, _seq, event, _pushed = pop(queue)
-                    self._now = when
-                    callbacks, event.callbacks = event.callbacks, None
+                while True:
+                    entry = pop()
+                    if entry is None:
+                        break
+                    event = entry[3]
+                    callbacks = event.callbacks
+                    if callbacks is None:
+                        # Tombstone (cancelled timeout): skip.
+                        self._cancelled -= 1
+                        del entry
+                        recycle(event)
+                        continue
+                    self._now = entry[0]
+                    del entry
+                    event.callbacks = None
                     for callback in callbacks:
                         callback(event)
                     if not event._ok and not event._defused:
@@ -220,8 +651,10 @@ class Environment:
                         raise SimulationError(
                             f"unhandled failure in {event!r}: {cause!r}"
                         ) from cause
+                    recycle(event)
             else:
-                while queue:
+                queue = self._queue
+                while len(queue):
                     self.step()
         except _StopRun as stop:
             event = stop.event

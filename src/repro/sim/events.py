@@ -16,6 +16,7 @@ event's callback resumes the process generator when the event is processed.
 from __future__ import annotations
 
 import typing as _t
+from sys import getrefcount as _getrefcount
 
 if _t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.engine import Environment
@@ -152,6 +153,22 @@ class Timeout(Event):
         self._value = value
         env.schedule(self, delay=delay)
 
+    def cancel(self) -> None:
+        """Withdraw a pending timeout: it will never fire.
+
+        Lazy invalidation: the calendar entry is tombstoned in place
+        (callbacks dropped) rather than dug out of the scheduler; the
+        pop loops skip it, and the environment compacts the scheduler
+        when tombstones pile up, so repeated cancel/reschedule churn
+        (RPC retry timers, backoff) keeps the calendar bounded by the
+        live event count.  Cancelling an already-processed or
+        already-cancelled timeout is a no-op.
+        """
+        if self.callbacks is None:
+            return
+        self.callbacks = None
+        self.env._note_cancelled()
+
     def __repr__(self) -> str:
         return f"<Timeout delay={self.delay} at {id(self):#x}>"
 
@@ -248,11 +265,41 @@ class Condition(Event):
         if not event._ok:
             event._defused = True
             self.fail(event._value)
+            self._detach_unfired()
             return
         self._count += 1
         if self._evaluate(self._events, self._count):
             done = [e for e in self._events if e.processed]
             self.succeed(ConditionValue(done))
+            self._detach_unfired()
+
+    def _detach_unfired(self) -> None:
+        """Unsubscribe from constituents that will no longer matter.
+
+        Once the condition has triggered, its ``_check`` callback on the
+        still-unfired constituents is dead weight.  Removing it lets an
+        orphaned timeout -- the ubiquitous ``any_of([reply, timeout])``
+        RPC pattern, where the reply wins -- be cancelled outright
+        instead of sitting on the calendar until its deadline.  A
+        timeout is only cancelled when nothing else can observe it:
+        no other subscriber, and no outside reference (the refcount
+        check -- the ``_events`` list, the loop local and getrefcount's
+        argument account for exactly three).
+        """
+        for event in self._events:
+            callbacks = event.callbacks
+            if callbacks is None:
+                continue
+            try:
+                callbacks.remove(self._check)
+            except ValueError:
+                continue
+            if (
+                not callbacks
+                and type(event) is Timeout
+                and _getrefcount(event) <= 3
+            ):
+                event.cancel()
 
     @staticmethod
     def all_events(events: _t.List[Event], count: int) -> bool:

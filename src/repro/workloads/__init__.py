@@ -8,8 +8,12 @@
   scattered over a large namespace, parameterised by file size.
 - :mod:`repro.workloads.npb` -- an NPB BT-IO-like parallel writer with
   read-back verification (the paper's conflict-operation test).
+- :mod:`repro.workloads.aggregate` -- aggregate client nodes: N workload
+  personalities statistically multiplexed onto P < N simulated nodes, so
+  10k-client populations run on a handful of processes.
 """
 
+from repro.workloads.aggregate import aggregate_thread, assign_personalities
 from repro.workloads.filebench import (
     FileserverWorkload,
     VarmailWorkload,
@@ -21,6 +25,8 @@ from repro.workloads.xcdn import XcdnWorkload
 
 __all__ = [
     "FileserverWorkload",
+    "aggregate_thread",
+    "assign_personalities",
     "NpbBtIoWorkload",
     "VarmailWorkload",
     "WebproxyWorkload",

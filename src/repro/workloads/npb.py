@@ -48,6 +48,10 @@ class NpbBtIoWorkload(Workload):
 
     name = "npb-bt"
     threads_per_client = 1  # one MPI rank per node
+    # Ranks synchronise on an all-parties barrier: multiplexing two
+    # ranks onto one thread would park one inside the other's collective
+    # wait and deadlock it, so BT-IO refuses aggregate nodes.
+    aggregatable = False
     think_time = 0.0
 
     def __init__(

@@ -81,6 +81,13 @@ class Workload:
     name = "base"
     #: Application threads spawned per client node.
     threads_per_client = 4
+    #: Whether personalities of this workload may be statistically
+    #: multiplexed onto shared aggregate nodes (see
+    #: :mod:`repro.workloads.aggregate`).  Personalities that block on
+    #: cross-client collectives (NPB's barrier) must opt out: parking
+    #: one rank while a co-resident rank waits on the collective would
+    #: deadlock it.
+    aggregatable = True
     #: Mean think time between op iterations (seconds; exponential).
     think_time = 0.0005
     #: Client page-cache capacity this personality recommends (bytes);

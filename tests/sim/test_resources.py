@@ -101,7 +101,7 @@ def test_resource_cancel_waiting_request(env):
     env.process(impatient(env, log))
     env.run()
     assert log == ["gave up"]
-    assert res.queue == []
+    assert list(res.queue) == []
 
 
 def test_resource_invalid_capacity(env):

@@ -1,0 +1,140 @@
+"""Bench-harness unit tests: cache fingerprint and scale cells.
+
+The fingerprint bug these pin down: a brand-new (untracked) module
+changes simulator behaviour but is invisible to ``git diff HEAD``, so
+the result cache kept serving cells measured against code that no
+longer existed.  The fingerprint must react to untracked files and --
+in the no-git fallback -- to ``benchmarks/`` edits, not just ``src/``.
+"""
+
+import os
+import subprocess
+
+import pytest
+
+from benchmarks.harness import (
+    FIGURE_SWEEPS,
+    _scale_cell,
+    code_fingerprint,
+    derive_scaling,
+)
+
+
+def _git(root, *argv):
+    subprocess.run(
+        ["git", "-C", str(root), *argv],
+        check=True,
+        capture_output=True,
+        env={
+            **os.environ,
+            "GIT_AUTHOR_NAME": "t",
+            "GIT_AUTHOR_EMAIL": "t@t",
+            "GIT_COMMITTER_NAME": "t",
+            "GIT_COMMITTER_EMAIL": "t@t",
+        },
+    )
+
+
+@pytest.fixture
+def repo(tmp_path):
+    (tmp_path / "src").mkdir()
+    (tmp_path / "benchmarks").mkdir()
+    (tmp_path / "src" / "mod.py").write_text("A = 1\n")
+    (tmp_path / "benchmarks" / "bench.py").write_text("B = 1\n")
+    _git(tmp_path, "init", "-q")
+    _git(tmp_path, "add", "-A")
+    _git(tmp_path, "commit", "-q", "-m", "seed")
+    return tmp_path
+
+
+def test_fingerprint_sees_untracked_files(repo):
+    clean = code_fingerprint(str(repo))
+    (repo / "src" / "new_scheduler.py").write_text("C = 3\n")
+    with_untracked = code_fingerprint(str(repo))
+    assert with_untracked != clean
+    # Content matters, not just presence.
+    (repo / "src" / "new_scheduler.py").write_text("C = 4\n")
+    assert code_fingerprint(str(repo)) != with_untracked
+    (repo / "src" / "new_scheduler.py").unlink()
+    assert code_fingerprint(str(repo)) == clean
+
+
+def test_fingerprint_sees_untracked_benchmark_files(repo):
+    clean = code_fingerprint(str(repo))
+    (repo / "benchmarks" / "bench_new.py").write_text("D = 1\n")
+    assert code_fingerprint(str(repo)) != clean
+
+
+def test_fingerprint_still_sees_tracked_modifications(repo):
+    clean = code_fingerprint(str(repo))
+    (repo / "src" / "mod.py").write_text("A = 2\n")
+    assert code_fingerprint(str(repo)) != clean
+
+
+def test_fallback_fingerprint_covers_benchmarks(tmp_path):
+    """Without git, the walk must include benchmarks/ alongside src/."""
+    (tmp_path / "src").mkdir()
+    (tmp_path / "benchmarks").mkdir()
+    (tmp_path / "src" / "mod.py").write_text("A = 1\n")
+    (tmp_path / "benchmarks" / "bench.py").write_text("B = 1\n")
+    base = code_fingerprint(str(tmp_path))
+    assert base.startswith("src-")
+    (tmp_path / "benchmarks" / "bench.py").write_text("B = 2\n")
+    changed = code_fingerprint(str(tmp_path))
+    assert changed != base
+    assert changed.startswith("src-")
+
+
+def test_scale_cell_shape():
+    cell = _scale_cell(1000, "calendar", processes=8)
+    assert cell["clients"] == 1000
+    assert cell["scheduler"] == "calendar"
+    assert cell["processes"] == 8
+    assert cell["workload"] == "xcdn-scale"
+    assert cell["config"]["delegation_chunk"] == 1024 * 1024
+    legacy = _scale_cell(1000, "heap")
+    assert "processes" not in legacy
+
+
+def test_clients_figure_spans_both_layouts():
+    cells = FIGURE_SWEEPS["clients"]
+    legacy = {c["clients"] for c in cells if "processes" not in c}
+    aggregate = {c["clients"] for c in cells if "processes" in c}
+    assert 10_000 in legacy and 10_000 in aggregate
+    assert all(c["scheduler"] == "heap" for c in cells
+               if "processes" not in c)
+    assert all(c["scheduler"] == "calendar" for c in cells
+               if "processes" in c)
+
+
+def test_derive_scaling_pairs_layouts():
+    def record(clients, scheduler, processes, events, wall):
+        cell = {"clients": clients, "scheduler": scheduler}
+        if processes:
+            cell["processes"] = processes
+        return {"cell": cell, "events": events, "wall_time": wall}
+
+    rows = derive_scaling([
+        record(1000, "heap", None, 100_000, 10.0),
+        record(1000, "calendar", 8, 100_000, 2.0),
+        record(10_000, "calendar", 16, 400_000, 10.0),
+    ])
+    assert rows == [
+        {
+            "clients": 1000,
+            "legacy_events_per_second": 10_000.0,
+            "aggregate_events_per_second": 50_000.0,
+            "speedup": 5.0,
+        },
+        {
+            "clients": 10_000,
+            "aggregate_events_per_second": 40_000.0,
+        },
+    ]
+
+
+def test_derive_scaling_ignores_classic_figures():
+    assert derive_scaling(
+        [{"cell": {"clients": 3, "system": "nfs3"},
+          "events": 10, "wall_time": 1.0}]
+    ) == []

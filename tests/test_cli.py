@@ -227,3 +227,72 @@ def test_crash_command_delayed_consistent(capsys):
     out = capsys.readouterr().out
     assert "CONSISTENT" in out
     assert "recovery reclaimed" in out
+
+
+def test_run_command_with_aggregate_processes(capsys):
+    code = main(
+        [
+            "run",
+            "--system",
+            "redbud-delayed",
+            "--workload",
+            "xcdn-32K",
+            "--clients",
+            "6",
+            "--processes",
+            "2",
+            "--duration",
+            "0.4",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "ops/s" in out
+
+
+def test_run_command_scheduler_choice(capsys):
+    for scheduler in ("heap", "calendar"):
+        code = main(
+            [
+                "run",
+                "--system",
+                "redbud-delayed",
+                "--workload",
+                "xcdn-32K",
+                "--clients",
+                "2",
+                "--duration",
+                "0.3",
+                "--scheduler",
+                scheduler,
+            ]
+        )
+        assert code == 0
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(
+            ["run", "--system", "nfs3", "--scheduler", "splay"]
+        )
+
+
+def test_processes_and_faults_are_mutually_exclusive(capsys):
+    code = main(
+        [
+            "run",
+            "--system",
+            "redbud-delayed",
+            "--workload",
+            "xcdn-32K",
+            "--clients",
+            "4",
+            "--processes",
+            "2",
+            "--faults",
+            "loss=0.05",
+            "--duration",
+            "0.2",
+        ]
+    )
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "--processes cannot be combined with --faults" in err

@@ -1,0 +1,83 @@
+"""Aggregate client processes: mapping, validation, metrics, rejection."""
+
+import pytest
+
+from repro.fs.config import ClusterConfig
+from repro.fs.factory import build_cluster
+from repro.workloads.aggregate import assign_personalities
+from repro.workloads.npb import NpbBtIoWorkload
+from repro.workloads.xcdn import XcdnWorkload
+
+
+def test_assign_personalities_round_robin():
+    assert assign_personalities(7, 3) == [
+        [0, 3, 6],
+        [1, 4],
+        [2, 5],
+    ]
+    # Identity map when every personality gets its own node.
+    assert assign_personalities(4, 4) == [[0], [1], [2], [3]]
+
+
+@pytest.mark.parametrize("nodes", [0, -1, 8])
+def test_assign_personalities_rejects_bad_node_counts(nodes):
+    with pytest.raises(ValueError, match="nodes must be in"):
+        assign_personalities(7, nodes)
+
+
+@pytest.mark.parametrize("processes", [0, -3, 9])
+def test_config_rejects_out_of_range_client_processes(processes):
+    with pytest.raises(ValueError, match="client_processes"):
+        ClusterConfig(num_clients=8, client_processes=processes)
+
+
+def test_config_accepts_boundary_client_processes():
+    low = ClusterConfig(num_clients=8, client_processes=1)
+    high = ClusterConfig(num_clients=8, client_processes=8)
+    assert low.client_nodes == 1
+    assert high.client_nodes == 8
+    assert ClusterConfig(num_clients=8).client_nodes == 8
+
+
+def test_aggregated_run_completes_and_merges_metrics():
+    """8 personalities on 2 nodes: every personality does real work."""
+    cluster = build_cluster(
+        "redbud-delayed",
+        num_clients=8,
+        client_processes=2,
+        seed=3,
+    )
+    result = cluster.run_workload(
+        XcdnWorkload(file_size=32 * 1024, seed_files_per_client=4),
+        duration=0.4,
+        warmup=0.05,
+    )
+    assert result.ops_completed > 0
+    assert result.latency().count == result.ops_completed
+    # The merged metrics aggregate over all 8 personalities even though
+    # only 2 client nodes were simulated.
+    assert cluster.num_clients == 8
+    assert cluster.num_client_nodes == 2
+
+
+def test_npb_rejects_aggregation():
+    """BT-IO synchronises all ranks; multiplexing would deadlock the
+    collective, so the runner must refuse up front."""
+    cluster = build_cluster(
+        "redbud-delayed",
+        num_clients=4,
+        client_processes=2,
+        seed=3,
+    )
+    with pytest.raises(ValueError, match="cannot run on aggregate"):
+        cluster.run_workload(
+            NpbBtIoWorkload(), duration=0.2, warmup=0.0
+        )
+
+
+def test_npb_still_runs_unaggregated():
+    cluster = build_cluster("redbud-delayed", num_clients=4, seed=3)
+    result = cluster.run_workload(
+        NpbBtIoWorkload(), duration=0.5, warmup=0.0
+    )
+    assert result.ops_completed >= 0
