@@ -6,6 +6,10 @@ just after every observed protocol state transition, layers seeded
 random nemesis fault combinations on top, judges every surviving state
 against the full invariant suite, and shrinks failures to minimal
 replayable fault specs.  ``python -m repro check`` is the front end.
+
+:mod:`repro.check.soak` extends the same oracles to long horizons:
+``python -m repro soak`` runs a tracked nemesis over virtual hours and
+judges safety *and* convergence (liveness) continuously mid-run.
 """
 
 from repro.check.explorer import (
@@ -18,6 +22,14 @@ from repro.check.explorer import (
 from repro.check.oracle import Verdict, judge_crash, judge_live
 from repro.check.schedule import compose, describe, schedule_events
 from repro.check.shrinker import ddmin
+from repro.check.soak import (
+    SoakReport,
+    SoakViolation,
+    SoakWorkload,
+    judge_converged,
+    run_soak,
+    seed_bug_tweak,
+)
 from repro.check.transitions import (
     COUNTER_METRICS,
     TransitionCoverage,
@@ -31,15 +43,21 @@ __all__ = [
     "Counterexample",
     "COUNTER_METRICS",
     "RunOutcome",
+    "SoakReport",
+    "SoakViolation",
+    "SoakWorkload",
     "TransitionCoverage",
     "Verdict",
     "compose",
     "ddmin",
     "describe",
     "explore",
+    "judge_converged",
     "judge_crash",
     "judge_live",
     "run_schedule",
+    "run_soak",
     "schedule_events",
+    "seed_bug_tweak",
     "transition_times",
 ]

@@ -168,12 +168,16 @@ def run_schedule(
     replication: str = "none",
     run_span: float = RUN_SPAN,
     tweak: _t.Optional[_t.Callable[[RedbudCluster], None]] = None,
+    workload: _t.Optional[CheckWorkload] = None,
 ) -> RunOutcome:
     """Execute one schedule against the check workload and judge it.
 
     ``tweak`` mutates the freshly built cluster before anything runs --
     the hook the self-test uses to seed a deliberate bug (e.g. disabling
     the MDS commit dedup table) and prove the checker finds it.
+    ``workload`` swaps the driving mix (the soak shrinker replays with
+    its slow-trickle workload so rebased long-horizon windows stay
+    cheap); default is the standard check mix.
     """
     config = ClusterConfig(
         num_clients=clients,
@@ -197,7 +201,8 @@ def run_schedule(
     injector = FaultInjector(cluster, spec) if not spec.empty else None
 
     env = cluster.env
-    workload = CheckWorkload()
+    if workload is None:
+        workload = CheckWorkload()
     shared: _t.Dict[str, _t.Any] = {}
     from repro.analysis.metrics import OpMetrics
 

@@ -88,6 +88,14 @@ from repro.workloads import (
     XcdnWorkload,
 )
 
+def _soak_workload() -> _t.Any:
+    # Lazy: the slow-trickle soak mix lives in the check package, and
+    # importing it here would drag the checker into every CLI start.
+    from repro.check.soak import SoakWorkload
+
+    return SoakWorkload()
+
+
 WORKLOADS: _t.Dict[str, _t.Callable[[], _t.Any]] = {
     "fileserver": lambda: FileserverWorkload(seed_files_per_client=15),
     "varmail": lambda: VarmailWorkload(seed_files_per_client=15),
@@ -102,6 +110,7 @@ WORKLOADS: _t.Dict[str, _t.Callable[[], _t.Any]] = {
         file_size=1024 * 1024, seed_files_per_client=8
     ),
     "npb-bt": lambda: NpbBtIoWorkload(),
+    "soak": _soak_workload,
 }
 
 FIGURES = {
@@ -281,13 +290,20 @@ def cmd_run(args: argparse.Namespace) -> int:
             return 2
         config_kw["replication"] = args.replication
     if getattr(args, "processes", None) is not None:
-        if getattr(args, "faults", None):
-            # Fault specs address clients by node index (client_death=3
-            # kills simulated node 3); under aggregation a node hosts
-            # many personalities and the legacy indexing is meaningless.
+        if spec is not None and spec.client_deaths:
+            # client_death addresses one workload personality by index
+            # (client_death=3 kills client 3); under aggregation a node
+            # hosts many personalities and that indexing is
+            # meaningless.  Every other clause family targets links,
+            # shards, or storage members, which aggregation leaves
+            # intact -- so only deaths are refused.
+            death = spec.client_deaths[0]
             print(
-                "error: --processes cannot be combined with --faults "
-                "(fault client indexing assumes one node per client)",
+                "error: --processes cannot be combined with a --faults "
+                "spec containing client_death clauses "
+                f"(offending clause: client_death={death.client_id}"
+                f"@{death.at!r}; client indexing assumes one node per "
+                "client)",
                 file=sys.stderr,
             )
             return 2
@@ -300,6 +316,18 @@ def cmd_run(args: argparse.Namespace) -> int:
         args.system, num_clients=args.clients, seed=args.seed, obs=obs,
         **config_kw,
     )
+    if getattr(args, "seed_bug", "none") != "none":
+        if not args.system.startswith("redbud"):
+            print(
+                "error: --seed-bug supports the redbud systems only",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.check.soak import seed_bug_tweak
+
+        bug_tweak = seed_bug_tweak(args.seed_bug)
+        if bug_tweak is not None:
+            bug_tweak(cluster)
     injector = None
     if spec is not None:
         from repro.faults import FaultInjector
@@ -319,11 +347,18 @@ def cmd_run(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 2
-        from repro.check import judge_live
+        from repro.check import judge_converged, judge_live
 
         if injector is None:
             _settle(cluster)
         check_verdict = judge_live(cluster)
+        # Liveness side: after settling, clients must be back on the
+        # delayed path, GC running, witnesses draining -- the oracle a
+        # shrunk soak counterexample fails on replay.
+        converged = judge_converged(cluster)
+        for kind, detail in converged.violations:
+            check_verdict.add(kind, detail)
+        check_verdict.summaries.extend(converged.summaries)
     if obs is not None:
         from repro.obs import write_chrome_trace
 
@@ -853,15 +888,12 @@ def cmd_crash(args: argparse.Namespace) -> int:
 
 def cmd_check(args: argparse.Namespace) -> int:
     from repro.check import explore
+    from repro.check.soak import seed_bug_tweak
 
-    tweak = None
-    if args.seed_bug == "dedup":
-        # Self-test: disable the MDS's durable commit dedup table (on
-        # every shard).  The checker must find the resulting
-        # double-apply and shrink it to a minimal replayable schedule.
-        def tweak(cluster: _t.Any) -> None:
-            cluster.metadata.set_commit_dedup_enabled(False)
-
+    # Self-test hook: plant a deliberate bug (e.g. disable the MDS's
+    # durable commit dedup table) and prove the checker finds it and
+    # shrinks it to a minimal replayable schedule.
+    tweak = seed_bug_tweak(args.seed_bug)
     report = explore(
         budget=args.budget,
         seed=args.seed,
@@ -908,6 +940,71 @@ def cmd_check(args: argparse.Namespace) -> int:
                 f"({args.seed_bug}); the replay commands PASS on the "
                 f"healthy system"
             )
+    return 0 if report.ok else 1
+
+
+def cmd_soak(args: argparse.Namespace) -> int:
+    from repro.check.soak import run_soak
+
+    if args.hours <= 0:
+        print("error: --hours must be positive", file=sys.stderr)
+        return 2
+    out_fh = None
+    if args.out:
+        if err := _check_writable(args.out):
+            print(err, file=sys.stderr)
+            return 2
+        out_fh = open(args.out, "w", encoding="utf-8")
+
+    def emit(payload: _t.Dict[str, _t.Any]) -> None:
+        line = json.dumps(payload, sort_keys=True)
+        if out_fh is not None:
+            out_fh.write(line + "\n")
+            out_fh.flush()
+        if args.json:
+            print(line)
+
+    try:
+        report = run_soak(
+            args.hours,
+            seed=args.seed,
+            intensity=args.intensity,
+            clients=args.clients,
+            shards=args.shards,
+            replication=args.replication,
+            scheduler=args.scheduler,
+            seed_bug=args.seed_bug,
+            emit=emit,
+        )
+    finally:
+        if out_fh is not None:
+            out_fh.close()
+    if args.out:
+        print(f"wrote JSONL report to {args.out}", file=sys.stderr)
+    if not args.json:
+        print(report.summary())
+        for violation in report.violations:
+            tag = (
+                f"excused by faults {violation.excused_by}"
+                if violation.excused
+                else "UNEXCUSED"
+            )
+            print(
+                f"  t={violation.time:.3f} [{violation.source}/"
+                f"{violation.kind}] {violation.detail} -- {tag}"
+            )
+        if report.counterexample is not None:
+            ce = report.counterexample
+            print(f"counterexample window: {ce['schedule']}")
+            if ce["minimal"] is not None:
+                print(f"  minimal: {ce['minimal']}")
+                print(f"  replay: {ce['replay']}")
+            else:
+                print(
+                    "  (window did not reproduce on the short-horizon "
+                    "harness; see the JSONL timeline)"
+                )
+        print("PASS" if report.ok else "FAIL")
     return 0 if report.ok else 1
 
 
@@ -1008,8 +1105,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--check",
         action="store_true",
         help="after the run (and settling), run fsck + the full "
-        "invariant suite; exit nonzero on any violation "
-        "(redbud systems only)",
+        "invariant suite (safety + convergence); exit nonzero on any "
+        "violation (redbud systems only)",
+    )
+    p_run.add_argument(
+        "--seed-bug",
+        choices=("none", "dedup", "degrade"),
+        default="none",
+        help="deliberately plant a bug before running (self-tests; "
+        "redbud systems only): 'dedup' disables the MDS commit dedup "
+        "table, 'degrade' suppresses the delayed->sync reversion so "
+        "clients stay degraded after faults heal",
     )
     p_run.set_defaults(func=cmd_run)
 
@@ -1187,10 +1293,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_check.add_argument(
         "--seed-bug",
-        choices=("none", "dedup"),
+        choices=("none", "dedup", "degrade"),
         default="none",
         help="deliberately seed a bug (self-test): 'dedup' disables "
-        "the MDS commit dedup table",
+        "the MDS commit dedup table, 'degrade' suppresses the "
+        "delayed->sync reversion",
     )
     p_check.add_argument(
         "--out", metavar="PATH", help="write the JSON report here"
@@ -1199,6 +1306,68 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="print the JSON report"
     )
     p_check.set_defaults(func=cmd_check)
+
+    p_soak = sub.add_parser(
+        "soak",
+        help="long-horizon soak: tracked nemesis + continuous "
+        "liveness/safety oracles + counterexample shrinking",
+    )
+    p_soak.add_argument(
+        "--hours",
+        type=float,
+        default=2.0,
+        help="virtual hours of soak (default %(default)s)",
+    )
+    p_soak.add_argument("--seed", type=int, default=0)
+    p_soak.add_argument(
+        "--intensity",
+        type=float,
+        default=1.0,
+        help="nemesis action rate multiplier (default %(default)s: "
+        "one action per ~30 virtual seconds)",
+    )
+    p_soak.add_argument("--clients", type=int, default=4)
+    p_soak.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="metadata shards; >1 adds shard-partition and "
+        "shard-targeted restart nemesis families",
+    )
+    p_soak.add_argument(
+        "--replication",
+        choices=("none", "mirror3", "block4-2"),
+        default="none",
+        help="replicated storage group; mirror3/block4-2 add the "
+        "disk-loss/readmit nemesis family and the re-silvering "
+        "liveness oracle",
+    )
+    p_soak.add_argument(
+        "--scheduler",
+        choices=("calendar", "heap"),
+        default=None,
+        help="event-calendar implementation (default calendar)",
+    )
+    p_soak.add_argument(
+        "--seed-bug",
+        choices=("none", "dedup", "degrade"),
+        default="none",
+        help="deliberately plant a bug (self-test): 'degrade' "
+        "suppresses the delayed->sync reversion, which only the "
+        "liveness oracles can see",
+    )
+    p_soak.add_argument(
+        "--out",
+        metavar="PATH",
+        help="write the incremental JSONL timeline (inject/heal/"
+        "violation/sweep events + final summary) here",
+    )
+    p_soak.add_argument(
+        "--json",
+        action="store_true",
+        help="print the JSONL timeline to stdout",
+    )
+    p_soak.set_defaults(func=cmd_soak)
     return parser
 
 

@@ -178,6 +178,11 @@ class RedbudClient(FileSystemAPI):
         self.degraded = False
         self.degrade_transitions = 0
         self.degraded_writes = 0
+        #: Kill-switch for the degraded->delayed reversion (the exit arm
+        #: of the hysteresis).  Disabling it plants a liveness bug -- the
+        #: client stays in sync fallback after the fault heals -- used by
+        #: the soak harness's seeded-bug self-test (--seed-bug degrade).
+        self.degrade_exit_enabled = True
 
         #: All not-yet-committed records per file (fsync waits on these).
         self._pending_records: _t.Dict[int, _t.Set[CommitRecord]] = {}
@@ -531,7 +536,8 @@ class RedbudClient(FileSystemAPI):
             # Leave only once the MDS answers again *and* the backlog has
             # drained well below the entry threshold (hysteresis).
             if (
-                self.rpc.consecutive_timeouts == 0
+                self.degrade_exit_enabled
+                and self.rpc.consecutive_timeouts == 0
                 and backlog <= self.degrade_backlog // 2
             ):
                 self.degraded = False

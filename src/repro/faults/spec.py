@@ -3,9 +3,14 @@
 A spec is a comma-separated list of clauses::
 
     loss=P                 drop each message with probability P (all links)
+    loss=P@T0-T1           same, but only during the window [T0, T1) --
+                           a *loss burst* (the tracked nemesis's bread
+                           and butter; several non-overlapping bursts
+                           may be given)
     delay=P:MAX            delay a fraction P of messages by an extra
                            uniform(0, MAX) seconds -- since deliveries are
                            independent timeouts, this also reorders them
+    delay=P:MAX@T0-T1      the windowed *delay burst* variant
     partition=CID@T0-T1    cut client CID off (both directions) during
                            the virtual-time window [T0, T1)
     mds_restart@T:D        crash the MDS at time T, restart it D seconds
@@ -32,9 +37,14 @@ A spec is a comma-separated list of clauses::
 Example: ``loss=0.05,delay=0.1:0.004,mds_restart@0.5:0.2,client_death=2@0.8``.
 
 Multiple ``partition``/``mds_restart``/``client_death``/``disk_loss``
-clauses may be given; at most one ``crash``, and at most one ``loss`` /
-``delay`` each (a duplicate scalar clause is a parse error, not a silent
-overwrite).  Unknown clause keys are parse errors carrying the offending
+and windowed burst clauses may be given; at most one ``crash``, and at
+most one *scalar* ``loss`` / ``delay`` each (a duplicate scalar clause
+is a parse error, not a silent overwrite).  Two windowed clauses with
+the same scope (the same client's partitions, the same shard's cuts,
+two global loss bursts) must not overlap in time, and a dead client
+cannot die twice -- both are spec validation errors, because a shrunk
+or nemesis-generated schedule carrying them would be ambiguous to
+replay.  Unknown clause keys are parse errors carrying the offending
 token, so a typo like ``disk_los=0@5`` cannot silently arm nothing.  An
 empty string parses to the empty spec, which injects nothing.
 ``FaultSpec.serialize`` renders a spec back into this language such that
@@ -46,6 +56,50 @@ from __future__ import annotations
 import re
 import typing as _t
 from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class LossBurst:
+    """Message loss at probability ``prob`` during ``[start, end)``."""
+
+    prob: float
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.prob < 1.0:
+            raise ValueError(
+                f"loss burst probability must be in (0, 1), got {self.prob}"
+            )
+        if not 0 <= self.start < self.end:
+            raise ValueError(
+                f"bad loss burst window [{self.start}, {self.end})"
+            )
+
+
+@dataclass(frozen=True)
+class DelayBurst:
+    """Extra delivery delay during ``[start, end)``: a fraction ``prob``
+    of messages receive uniform(0, ``max_delay``) extra seconds."""
+
+    prob: float
+    max_delay: float
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.prob <= 1.0:
+            raise ValueError(
+                f"delay burst probability must be in (0, 1], got {self.prob}"
+            )
+        if self.max_delay <= 0:
+            raise ValueError(
+                f"delay burst needs a positive max delay, got {self.max_delay}"
+            )
+        if not 0 <= self.start < self.end:
+            raise ValueError(
+                f"bad delay burst window [{self.start}, {self.end})"
+            )
 
 
 @dataclass(frozen=True)
@@ -159,6 +213,10 @@ class FaultSpec:
         default_factory=tuple
     )
     disk_losses: _t.Tuple[DiskLoss, ...] = field(default_factory=tuple)
+    #: Windowed loss/delay bursts (the tracked nemesis's replayable
+    #: actions); they stack on top of the scalar background rates.
+    loss_bursts: _t.Tuple[LossBurst, ...] = field(default_factory=tuple)
+    delay_bursts: _t.Tuple[DelayBurst, ...] = field(default_factory=tuple)
     #: Whole-cluster crash time.  The injector ignores this field; the
     #: crash-schedule harness (``repro.check``) and ``repro run`` cut the
     #: run at this instant and run recovery + the consistency oracle.
@@ -177,6 +235,49 @@ class FaultSpec:
             raise ValueError("delay clause needs a positive max delay")
         if self.crash_at is not None and self.crash_at < 0:
             raise ValueError(f"crash time must be >= 0, got {self.crash_at}")
+        self._check_scope_overlaps()
+
+    def _check_scope_overlaps(self) -> None:
+        """Reject same-scope windows that overlap, and double deaths.
+
+        Two partition windows for the same client (or two global loss
+        bursts, two cuts of the same shard...) that overlap in time are
+        ambiguous: which clause a dropped message "belongs to" is
+        undefined, so a shrunk schedule could not attribute the failure.
+        The nemesis never generates them; hand-written specs get a
+        validation error instead of silently merged behaviour.
+        """
+        windows: _t.List[_t.Tuple[_t.Any, float, float]] = []
+        for p in self.partitions:
+            windows.append((("partition", p.client_id), p.start, p.end))
+        for sp in self.shard_partitions:
+            windows.append(
+                (("shard_partition", sp.shard), sp.start, sp.end)
+            )
+        for lb in self.loss_bursts:
+            windows.append((("loss_burst", "*"), lb.start, lb.end))
+        for db in self.delay_bursts:
+            windows.append((("delay_burst", "*"), db.start, db.end))
+        by_scope: _t.Dict[_t.Any, _t.List[_t.Tuple[float, float]]] = {}
+        for scope, start, end in windows:
+            by_scope.setdefault(scope, []).append((start, end))
+        for scope, spans in by_scope.items():
+            spans.sort()
+            for (s0, e0), (s1, _e1) in zip(spans, spans[1:]):
+                if s1 < e0:
+                    raise ValueError(
+                        f"duplicate scope {scope[0]}={scope[1]}: windows "
+                        f"[{s0}, {e0}) and starting at {s1} overlap"
+                    )
+        deaths = [d.client_id for d in self.client_deaths]
+        if len(set(deaths)) != len(deaths):
+            dup = sorted(
+                cid for cid in set(deaths) if deaths.count(cid) > 1
+            )
+            raise ValueError(
+                f"client_death clauses name client(s) {dup} more than "
+                "once (a dead client cannot die again)"
+            )
 
     @property
     def empty(self) -> bool:
@@ -194,6 +295,8 @@ class FaultSpec:
             and not self.client_deaths
             and not self.shard_partitions
             and not self.disk_losses
+            and not self.loss_bursts
+            and not self.delay_bursts
         )
 
     @classmethod
@@ -201,6 +304,8 @@ class FaultSpec:
         """Parse the ``--faults`` mini-language (see module docstring)."""
         loss: _t.Optional[float] = None
         delay: _t.Optional[_t.Tuple[float, float]] = None
+        loss_bursts: _t.List[LossBurst] = []
+        delay_bursts: _t.List[DelayBurst] = []
         partitions: _t.List[Partition] = []
         mds_restarts: _t.List[MdsRestart] = []
         client_deaths: _t.List[ClientDeath] = []
@@ -213,14 +318,40 @@ class FaultSpec:
                 continue
             try:
                 if clause.startswith("loss="):
-                    if loss is not None:
-                        raise ValueError("duplicate loss clause")
-                    loss = float(clause[len("loss="):])
+                    body = clause[len("loss="):]
+                    if "@" in body:
+                        prob_s, window = body.split("@")
+                        start_s, end_s = re.split(r"(?<![eE])-", window)
+                        loss_bursts.append(
+                            LossBurst(
+                                prob=float(prob_s),
+                                start=float(start_s),
+                                end=float(end_s),
+                            )
+                        )
+                    else:
+                        if loss is not None:
+                            raise ValueError("duplicate loss clause")
+                        loss = float(body)
                 elif clause.startswith("delay="):
-                    if delay is not None:
-                        raise ValueError("duplicate delay clause")
-                    prob_s, max_s = clause[len("delay="):].split(":")
-                    delay = (float(prob_s), float(max_s))
+                    body = clause[len("delay="):]
+                    if "@" in body:
+                        rates, window = body.split("@")
+                        prob_s, max_s = rates.split(":")
+                        start_s, end_s = re.split(r"(?<![eE])-", window)
+                        delay_bursts.append(
+                            DelayBurst(
+                                prob=float(prob_s),
+                                max_delay=float(max_s),
+                                start=float(start_s),
+                                end=float(end_s),
+                            )
+                        )
+                    else:
+                        if delay is not None:
+                            raise ValueError("duplicate delay clause")
+                        prob_s, max_s = body.split(":")
+                        delay = (float(prob_s), float(max_s))
                 elif clause.startswith("partition="):
                     cid_s, window = clause[len("partition="):].split("@")
                     # Split on the window separator only, not the "-" of a
@@ -305,6 +436,8 @@ class FaultSpec:
             client_deaths=tuple(client_deaths),
             shard_partitions=tuple(shard_partitions),
             disk_losses=tuple(disk_losses),
+            loss_bursts=tuple(loss_bursts),
+            delay_bursts=tuple(delay_bursts),
             crash_at=crash_at,
         )
 
@@ -319,6 +452,13 @@ class FaultSpec:
             clauses.append(f"loss={self.loss!r}")
         if self.delay_prob:
             clauses.append(f"delay={self.delay_prob!r}:{self.delay_max!r}")
+        for lb in self.loss_bursts:
+            clauses.append(f"loss={lb.prob!r}@{lb.start!r}-{lb.end!r}")
+        for db in self.delay_bursts:
+            clauses.append(
+                f"delay={db.prob!r}:{db.max_delay!r}"
+                f"@{db.start!r}-{db.end!r}"
+            )
         for p in self.partitions:
             clauses.append(f"partition={p.client_id}@{p.start!r}-{p.end!r}")
         for r in self.mds_restarts:

@@ -316,21 +316,22 @@ class Timeline:
         width = metrics.window
         whists = dict(metrics.window_histograms())
 
-        fault_points: _t.Dict[int, _t.Set[str]] = {}
-        fault_ranges: _t.List[_t.Tuple[int, float, str]] = []
+        # The fault registry is the shared tracked-nemesis bookkeeping
+        # (repro.faults.tracking): rebuilt from the trace here, and the
+        # same structure the soak harness maintains live.
+        from repro.faults.tracking import FaultTracker
+
+        tracker = (
+            FaultTracker.from_tracer(tracer)
+            if tracer is not None
+            else FaultTracker()
+        )
         queue_edges: _t.List[_t.Tuple[float, int]] = []
         merges: _t.Dict[int, int] = {}
         enqueues: _t.Dict[int, int] = {}
         if tracer is not None:
             for event in tracer.events:
-                if event.cat == "fault":
-                    wi = int(event.time / width)
-                    until = event.args.get("until")
-                    if until is not None and until > event.time:
-                        fault_ranges.append((wi, until, event.name))
-                    else:
-                        fault_points.setdefault(wi, set()).add(event.name)
-                elif event.name == "commit_merge":
+                if event.name == "commit_merge":
                     merges[int(event.time / width)] = (
                         merges.get(int(event.time / width), 0) + 1
                     )
@@ -352,19 +353,16 @@ class Timeline:
                 acc[stage] = acc.get(stage, 0.0) + secs
 
         indexes: _t.Set[int] = set(whists)
-        indexes.update(fault_points)
         indexes.update(merges)
         indexes.update(enqueues)
         indexes.update(stage_by_window)
-        indexes.update(wi for wi, _, _ in fault_ranges)
+        indexes.update(int(r.start / width) for r in tracker.records)
         if not indexes:
             return cls(width, [])
         lo, hi = min(indexes), max(indexes)
         # A ranged fault (partition, MDS downtime) extends the fault
         # annotation but never the timeline past the last data window.
-        for wi, until, name in fault_ranges:
-            for k in range(wi, min(int(until / width), hi) + 1):
-                fault_points.setdefault(k, set()).add(name)
+        fault_points = tracker.window_annotations(width, cap_index=hi)
 
         windows: _t.List[TimelineWindow] = []
         edge_i = 0

@@ -136,6 +136,10 @@ class StorageGroup:
         self.degraded_writes = 0
         self.losses = 0
         self.readmissions = 0
+        #: Virtual time the most recent re-silver completed (None until
+        #: the first readmission).  Liveness oracles compare this against
+        #: the triggering disk_loss heal to confirm the rebuild finished.
+        self.last_resilver_at: _t.Optional[float] = None
 
     # -- geometry ---------------------------------------------------------
 
@@ -213,6 +217,7 @@ class StorageGroup:
         member.durable = IntervalSet()
         copied = self._resilver(member)
         self.readmissions += 1
+        self.last_resilver_at = self.env.now
         return copied
 
     def _resilver(self, member: ReplicaMember) -> int:

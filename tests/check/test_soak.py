@@ -1,0 +1,131 @@
+"""The soak harness: determinism, oracle sensitivity, CLI plumbing.
+
+These run whole miniature soaks (a few virtual minutes), so they sit in
+the ``check`` layer but stay fast: the planner's BASE_GAP of 30 virtual
+seconds keeps short horizons to a handful of faults.
+"""
+
+import json
+
+import pytest
+
+from repro.check.soak import run_soak
+from repro.cli import main
+
+QUICK = 0.05  # virtual hours: ~3 minutes, a handful of nemesis actions
+
+
+def test_quick_soak_is_clean_and_deterministic():
+    first, second = [], []
+    r1 = run_soak(QUICK, seed=0, emit=lambda o: first.append(
+        json.dumps(o, sort_keys=True)))
+    r2 = run_soak(QUICK, seed=0, emit=lambda o: second.append(
+        json.dumps(o, sort_keys=True)))
+    assert r1.ok, r1.summary()
+    assert r1.actions and sum(r1.faults_injected.values()) > 0
+    assert r1.sweeps_run > 0
+    # Same seed, same report: the acceptance bar is byte-identity of
+    # the emitted JSONL stream, not just the verdict.
+    assert first == second
+    assert json.dumps(r1.as_dict(), sort_keys=True) == json.dumps(
+        r2.as_dict(), sort_keys=True
+    )
+
+
+def test_different_seed_changes_the_plan():
+    r0 = run_soak(QUICK, seed=0)
+    r1 = run_soak(QUICK, seed=1)
+    assert [a["clause"] for a in r0.actions] != [
+        a["clause"] for a in r1.actions
+    ]
+
+
+def test_seeded_liveness_bug_is_detected_and_shrunk():
+    report = run_soak(0.2, seed=0, seed_bug="degrade")
+    assert not report.ok
+    kinds = {v.kind for v in report.violations if not v.excused}
+    assert any(k.endswith("degrade-stuck") for k in kinds)
+    cx = report.counterexample
+    assert cx is not None and cx["minimal"]
+    # The shrunk schedule is strictly smaller than the full plan and
+    # replayable through the run verb with the same planted bug.
+    assert cx["minimal_clauses"] < len(report.actions)
+    assert "--seed-bug degrade" in cx["replay"]
+    assert "repro run" in cx["replay"] and "--check" in cx["replay"]
+
+
+def test_excused_violations_carry_their_excuser():
+    # Crank intensity until faults overlap the sweeps; every excused
+    # violation must name the live fault that excused it.
+    report = run_soak(0.1, seed=2, intensity=4.0)
+    assert report.ok, report.summary()
+    for violation in report.violations:
+        if violation.excused:
+            assert violation.excused_by
+
+
+@pytest.mark.slow
+def test_two_hour_soak_is_byte_identical():
+    streams = ([], [])
+    for lines in streams:
+        run_soak(2.0, seed=0, emit=lambda o, ls=lines: ls.append(
+            json.dumps(o, sort_keys=True)))
+    assert streams[0] == streams[1]
+    assert len(streams[0]) > 100
+
+
+# -- CLI ----------------------------------------------------------------
+
+def test_soak_verb_writes_incremental_jsonl(tmp_path, capsys):
+    out = tmp_path / "soak.jsonl"
+    code = main([
+        "soak", "--hours", "0.05", "--seed", "0", "--out", str(out),
+    ])
+    assert code == 0
+    text = capsys.readouterr().out
+    assert "soak:" in text and "PASS" in text
+    records = [json.loads(line) for line in out.read_text().splitlines()]
+    events = {r["event"] for r in records}
+    assert {"inject", "heal", "sweep", "summary"} <= events
+    summary = [r for r in records if r["event"] == "summary"][-1]
+    assert summary["unexcused"] == 0
+
+
+def test_soak_verb_fails_on_seeded_bug(tmp_path, capsys):
+    out = tmp_path / "buggy.jsonl"
+    code = main([
+        "soak", "--hours", "0.2", "--seed", "0",
+        "--seed-bug", "degrade", "--out", str(out),
+    ])
+    assert code == 1
+    text = capsys.readouterr().out
+    assert "FAIL" in text
+    assert "repro run" in text  # the replay command is printed
+    records = [json.loads(line) for line in out.read_text().splitlines()]
+    summary = [r for r in records if r["event"] == "summary"][-1]
+    assert summary["unexcused"] > 0
+    assert summary["counterexample"]["minimal"]
+
+
+def test_soak_verb_json_output(capsys):
+    code = main(["soak", "--hours", "0.05", "--seed", "0", "--json"])
+    assert code == 0
+    lines = [ln for ln in capsys.readouterr().out.splitlines() if ln.strip()]
+    records = [json.loads(line) for line in lines]
+    assert records[-1]["event"] == "summary"
+
+
+# -- satellite: injector counters exported as gauges --------------------
+
+def test_injector_counters_exported_as_gauges():
+    from repro.check import compose, run_schedule
+
+    outcome = run_schedule(
+        compose(["loss=0.2@0.05-0.25", "mds_restart@0.1:0.05"]), seed=0
+    )
+    snap = outcome.obs.registry.snapshot()
+    gauges = {k: v for k, v in snap.items()
+              if k.startswith("faults.injector.")}
+    assert gauges, sorted(snap)
+    assert gauges.get("faults.injector.mds_restarts") == 1
+    assert gauges.get("faults.injector.loss_bursts") == 1

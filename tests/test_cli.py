@@ -275,7 +275,9 @@ def test_run_command_scheduler_choice(capsys):
         )
 
 
-def test_processes_and_faults_are_mutually_exclusive(capsys):
+def test_processes_rejects_only_client_death_faults(capsys):
+    # client_death addresses one workload personality by index, which
+    # aggregation makes meaningless -- the error names the clause.
     code = main(
         [
             "run",
@@ -288,11 +290,37 @@ def test_processes_and_faults_are_mutually_exclusive(capsys):
             "--processes",
             "2",
             "--faults",
-            "loss=0.05",
+            "loss=0.05,client_death=3@0.1",
             "--duration",
             "0.2",
         ]
     )
     assert code == 2
     err = capsys.readouterr().err
-    assert "--processes cannot be combined with --faults" in err
+    assert "client_death clauses" in err
+    assert "client_death=3@0.1" in err
+
+
+def test_processes_allows_faults_without_client_death(capsys):
+    # Link/MDS-level faults survive aggregation: every other clause
+    # family targets links, shards, or storage members.
+    code = main(
+        [
+            "run",
+            "--system",
+            "redbud-delayed",
+            "--workload",
+            "xcdn-32K",
+            "--clients",
+            "4",
+            "--processes",
+            "2",
+            "--faults",
+            "loss=0.02,mds_restart@0.1:0.05",
+            "--duration",
+            "0.3",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "fault summary" in out
