@@ -1008,6 +1008,165 @@ def cmd_soak(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Boot a live sharded metadata cluster: one process per shard."""
+    import os
+    import subprocess
+
+    os.makedirs(args.data_dir, exist_ok=True)
+    children: _t.List[subprocess.Popen] = []
+    addresses: _t.List[_t.List[_t.Any]] = []
+    try:
+        for shard in range(args.shards):
+            cmd = [
+                sys.executable,
+                "-m",
+                "repro",
+                "serve-shard",
+                "--shard",
+                str(shard),
+                "--shards",
+                str(args.shards),
+                "--data-dir",
+                args.data_dir,
+                "--port",
+                "0",
+                "--volume-size",
+                str(args.volume_size),
+                "--daemons",
+                str(args.daemons),
+                "--drop-every",
+                str(args.drop_every),
+            ]
+            children.append(
+                subprocess.Popen(
+                    cmd,
+                    stdout=subprocess.PIPE,
+                    text=True,
+                    bufsize=1,
+                )
+            )
+        for shard, child in enumerate(children):
+            assert child.stdout is not None
+            while True:
+                line = child.stdout.readline()
+                if not line:
+                    raise RuntimeError(
+                        f"shard {shard} exited before READY "
+                        f"(rc={child.poll()})"
+                    )
+                line = line.strip()
+                if line.startswith("READY "):
+                    fields = dict(
+                        part.split("=", 1)
+                        for part in line.split()[1:]
+                    )
+                    addresses.append(
+                        ["127.0.0.1", int(fields["port"])]
+                    )
+                    print(line, flush=True)
+                    break
+        cluster = {
+            "addresses": addresses,
+            "shards": args.shards,
+            "volume_size": args.volume_size,
+        }
+        cluster_path = os.path.join(args.data_dir, "cluster.json")
+        with open(cluster_path, "w") as handle:
+            json.dump(cluster, handle, indent=1)
+        print(f"cluster up: {cluster_path}", flush=True)
+        # Run until the shards exit (a `repro smoke` shutdown) or ^C.
+        for child in children:
+            child.wait()
+        return 0
+    except KeyboardInterrupt:
+        return 0
+    finally:
+        for child in children:
+            if child.poll() is None:
+                child.terminate()
+        for child in children:
+            try:
+                child.wait(timeout=5)
+            except Exception:
+                child.kill()
+
+
+def cmd_serve_shard(args: argparse.Namespace) -> int:
+    """Internal: run one metadata shard process (used by ``serve``)."""
+    import asyncio
+
+    from repro.rt.server import ShardConfig, serve_shard
+
+    config = ShardConfig(
+        shard=args.shard,
+        shards=args.shards,
+        data_dir=args.data_dir,
+        port=args.port,
+        volume_size=args.volume_size,
+        num_daemons=args.daemons,
+        drop_every=args.drop_every,
+    )
+
+    def ready(port: int) -> None:
+        print(f"READY shard={args.shard} port={port}", flush=True)
+
+    asyncio.run(serve_shard(config, ready=ready))
+    return 0
+
+
+def cmd_smoke(args: argparse.Namespace) -> int:
+    """Drive a workload against a live cluster and audit its state."""
+    import asyncio
+    import os
+
+    from repro.rt.smoke import SmokeConfig, run_smoke
+
+    cluster_path = os.path.join(args.data_dir, "cluster.json")
+    try:
+        with open(cluster_path) as handle:
+            cluster = json.load(handle)
+    except FileNotFoundError:
+        print(
+            f"error: {cluster_path} not found -- is `repro serve` "
+            "running with this --data-dir?",
+            file=sys.stderr,
+        )
+        return 2
+    config = SmokeConfig(
+        addresses=[(host, port) for host, port in cluster["addresses"]],
+        data_dir=args.data_dir,
+        shards=cluster["shards"],
+        volume_size=cluster["volume_size"],
+        clients=args.clients,
+        files_per_client=args.files,
+        file_size=args.file_size,
+        seed=args.seed,
+        timeout=args.timeout,
+    )
+    report = asyncio.run(run_smoke(config))
+    if args.report:
+        with open(args.report, "w") as handle:
+            json.dump(report, handle, indent=1, sort_keys=True)
+        print(f"wrote smoke report to {args.report}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(report, indent=1, sort_keys=True))
+    else:
+        print(
+            f"smoke: {config.clients} clients x {config.files_per_client} "
+            f"files over {config.shards} shard(s): "
+            f"{report['files_persisted']} files persisted, "
+            f"{report['committed_bytes']} bytes committed"
+        )
+        for name, violations in sorted(report["oracles"].items()):
+            state = "ok" if not violations else f"{len(violations)} violations"
+            print(f"  oracle {name}: {state}")
+            for detail in violations[:5]:
+                print(f"    {detail}")
+        print("PASS" if report["ok"] else "FAIL")
+    return 0 if report["ok"] else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -1368,6 +1527,69 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the JSONL timeline to stdout",
     )
     p_soak.set_defaults(func=cmd_soak)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="boot a live sharded metadata cluster on localhost "
+        "(one asyncio process per shard, real TCP)",
+    )
+    p_serve.add_argument("--shards", type=int, default=2)
+    p_serve.add_argument(
+        "--data-dir",
+        default="./repro-data",
+        help="volume file, cluster.json and shard dumps live here",
+    )
+    p_serve.add_argument(
+        "--volume-size", type=int, default=256 * 1024 * 1024
+    )
+    p_serve.add_argument("--daemons", type=int, default=4)
+    p_serve.add_argument(
+        "--drop-every",
+        type=int,
+        default=0,
+        help="drop every Nth request frame before delivery (0 = off): "
+        "forces real retransmissions through the retry machinery",
+    )
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_shard = sub.add_parser(
+        "serve-shard", help="internal: one shard process of `serve`"
+    )
+    p_shard.add_argument("--shard", type=int, required=True)
+    p_shard.add_argument("--shards", type=int, required=True)
+    p_shard.add_argument("--data-dir", required=True)
+    p_shard.add_argument("--port", type=int, default=0)
+    p_shard.add_argument(
+        "--volume-size", type=int, default=256 * 1024 * 1024
+    )
+    p_shard.add_argument("--daemons", type=int, default=4)
+    p_shard.add_argument("--drop-every", type=int, default=0)
+    p_shard.set_defaults(func=cmd_serve_shard)
+
+    p_smoke = sub.add_parser(
+        "smoke",
+        help="drive the delayed-commit client stack against a live "
+        "`serve` cluster, shut it down, and run the fsck/exactly-once/"
+        "data-pattern oracle subset on its on-disk state",
+    )
+    p_smoke.add_argument("--data-dir", default="./repro-data")
+    p_smoke.add_argument("--clients", type=int, default=4)
+    p_smoke.add_argument(
+        "--files", type=int, default=6, help="files per client"
+    )
+    p_smoke.add_argument("--file-size", type=int, default=32 * 1024)
+    p_smoke.add_argument("--seed", type=int, default=11)
+    p_smoke.add_argument(
+        "--timeout",
+        type=float,
+        default=120.0,
+        help="workload deadline in real seconds",
+    )
+    p_smoke.add_argument(
+        "--report", metavar="PATH", help="write the JSON report here"
+    )
+    p_smoke.add_argument("--json", action="store_true")
+    p_smoke.set_defaults(func=cmd_smoke)
     return parser
 
 

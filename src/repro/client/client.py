@@ -41,12 +41,12 @@ from repro.net.messages import (
     UnlinkPayload,
 )
 from repro.net.rpc import RpcClient
-from repro.sim.events import Event
+from repro.core.kernel.events import Event
 from repro.storage.blockdev import BlockDevice
 from repro.storage.cache import PageCache
 
 if _t.TYPE_CHECKING:  # pragma: no cover
-    from repro.sim.engine import Environment
+    from repro.core.effects import Effects
 
 
 def _segments(
@@ -68,7 +68,7 @@ class RedbudClient(FileSystemAPI):
 
     def __init__(
         self,
-        env: "Environment",
+        env: "Effects",
         client_id: int,
         rpc: RpcClient,
         blockdev: BlockDevice,

@@ -16,14 +16,18 @@ This package implements §III and §IV of the paper:
   space delegation (§IV.A).
 - :mod:`repro.core.protocol` -- the synchronous and delayed write-path
   step sequences of §III.A.
+- :mod:`repro.core.effects` / :mod:`repro.core.kernel` -- the effects
+  boundary and the substrate-neutral event kernel everything above runs
+  on.
+
+The conveniences below are re-exported lazily (PEP 562): the kernel is a
+subpackage of this package, so an eager ``from repro.core.compound
+import ...`` here would make *any* ``repro.core.kernel`` import execute
+the whole protocol layer first -- a cycle when the importer is a module
+the protocol layer itself uses (``repro.net.link``).
 """
 
-from repro.core.commit_queue import CommitQueue
-from repro.core.compound import CompoundController
-from repro.core.daemon import CommitDaemonContext
-from repro.core.delegation import DoubleSpacePool
-from repro.core.records import CommitRecord
-from repro.core.thread_pool import AdaptiveCommitThreadPool
+import typing as _t
 
 __all__ = [
     "AdaptiveCommitThreadPool",
@@ -32,4 +36,31 @@ __all__ = [
     "CommitRecord",
     "CompoundController",
     "DoubleSpacePool",
+    "Effects",
 ]
+
+#: Public name -> defining submodule, resolved on first attribute access.
+_EXPORTS = {
+    "AdaptiveCommitThreadPool": "repro.core.thread_pool",
+    "CommitDaemonContext": "repro.core.daemon",
+    "CommitQueue": "repro.core.commit_queue",
+    "CommitRecord": "repro.core.records",
+    "CompoundController": "repro.core.compound",
+    "DoubleSpacePool": "repro.core.delegation",
+    "Effects": "repro.core.effects",
+}
+
+
+def __getattr__(name: str) -> _t.Any:
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        )
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__() -> _t.List[str]:
+    return sorted(__all__)

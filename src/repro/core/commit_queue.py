@@ -23,10 +23,10 @@ from heapq import heappop as _heappop, heappush as _heappush
 
 from repro.core.records import CommitRecord
 from repro.mds.extent import Extent
-from repro.sim.events import Event
+from repro.core.kernel.events import Event
 
 if _t.TYPE_CHECKING:  # pragma: no cover
-    from repro.sim.engine import Environment
+    from repro.core.effects import Effects
 
 
 class CommitQueue:
@@ -34,7 +34,7 @@ class CommitQueue:
 
     def __init__(
         self,
-        env: "Environment",
+        env: "Effects",
         capacity: int = 4096,
         obs: _t.Optional[_t.Any] = None,
         node: str = "",

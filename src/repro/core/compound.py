@@ -24,7 +24,7 @@ from dataclasses import dataclass
 from repro.net.link import Link
 
 if _t.TYPE_CHECKING:  # pragma: no cover
-    from repro.sim.engine import Environment
+    from repro.core.effects import Effects
 
 
 @dataclass(frozen=True)
@@ -48,7 +48,7 @@ class CompoundController:
 
     def __init__(
         self,
-        env: "Environment",
+        env: "Effects",
         uplink: Link,
         policy: CompoundPolicy = CompoundPolicy(),
         fixed_degree: _t.Optional[int] = None,

@@ -23,10 +23,10 @@ from repro.core.compound import CompoundController
 from repro.core.records import CommitRecord
 from repro.net.messages import CommitOp, CommitPayload
 from repro.net.rpc import RpcClient
-from repro.sim.process import Interrupt
+from repro.core.kernel.process import Interrupt
 
 if _t.TYPE_CHECKING:  # pragma: no cover
-    from repro.sim.engine import Environment
+    from repro.core.effects import Effects
 
 
 @dataclass
@@ -58,7 +58,7 @@ class CommitDaemonContext:
 
     def __init__(
         self,
-        env: "Environment",
+        env: "Effects",
         queue: CommitQueue,
         rpc: RpcClient,
         controller: CompoundController,

@@ -25,10 +25,10 @@ from repro.core.records import CommitRecord
 from repro.mds.extent import Extent
 from repro.net.messages import CommitOp, CommitPayload
 from repro.net.rpc import RpcClient
-from repro.sim.events import Event
+from repro.core.kernel.events import Event
 
 if _t.TYPE_CHECKING:  # pragma: no cover
-    from repro.sim.engine import Environment
+    from repro.core.effects import Effects
 
 #: Valid commit-mode names, as accepted by cluster configuration.
 COMMIT_MODES = ("synchronous", "delayed", "unordered")
@@ -65,7 +65,7 @@ class SynchronousCommitProtocol(CommitProtocol):
 
     def __init__(
         self,
-        env: "Environment",
+        env: "Effects",
         rpc: RpcClient,
         obs: _t.Optional[_t.Any] = None,
         node: str = "",
@@ -159,7 +159,7 @@ class UnorderedCommitProtocol(DelayedCommitProtocol):
 
 def make_protocol(
     mode: str,
-    env: "Environment",
+    env: "Effects",
     rpc: RpcClient,
     queue: _t.Optional[CommitQueue],
     obs: _t.Optional[_t.Any] = None,

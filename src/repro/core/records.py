@@ -13,10 +13,10 @@ from __future__ import annotations
 import typing as _t
 
 from repro.mds.extent import Extent
-from repro.sim.events import Event
+from repro.core.kernel.events import Event
 
 if _t.TYPE_CHECKING:  # pragma: no cover
-    from repro.sim.engine import Environment
+    from repro.core.effects import Effects
 
 
 class CommitRecord:
@@ -47,7 +47,7 @@ class CommitRecord:
 
     def __init__(
         self,
-        env: "Environment",
+        env: "Effects",
         file_id: int,
         extents: _t.List[Extent],
         data_events: _t.List[Event],

@@ -19,10 +19,10 @@ import typing as _t
 from dataclasses import dataclass
 
 from repro.core.daemon import CommitDaemonContext, DaemonState, commit_daemon
-from repro.sim.process import Interrupt, Process
+from repro.core.kernel.process import Interrupt, Process
 
 if _t.TYPE_CHECKING:  # pragma: no cover
-    from repro.sim.engine import Environment
+    from repro.core.effects import Effects
 
 
 @dataclass(frozen=True)
@@ -60,7 +60,7 @@ class AdaptiveCommitThreadPool:
 
     def __init__(
         self,
-        env: "Environment",
+        env: "Effects",
         ctx: CommitDaemonContext,
         policy: ThreadPoolPolicy = ThreadPoolPolicy(),
     ) -> None:

@@ -36,7 +36,7 @@ from repro.util.intervals import IntervalSet
 
 if _t.TYPE_CHECKING:  # pragma: no cover
     from repro.net.messages import CommitOp
-    from repro.sim.engine import Environment
+    from repro.core.effects import Effects
 
 
 class WitnessSet:
@@ -44,7 +44,7 @@ class WitnessSet:
 
     def __init__(
         self,
-        env: "Environment",
+        env: "Effects",
         num_witnesses: int,
         capacity: int,
         rtt: float,

@@ -33,7 +33,7 @@ import typing as _t
 
 from repro.mds.btree import BPlusTree
 from repro.mds.extent import Chunk
-from repro.sim.rng import StreamRNG
+from repro.util.rng import StreamRNG
 from repro.util.intervals import IntervalSet
 
 

@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 from repro.mds.allocation import SpaceManager
 
 if _t.TYPE_CHECKING:  # pragma: no cover
-    from repro.sim.engine import Environment
+    from repro.core.effects import Effects
 
 
 @dataclass
@@ -73,7 +73,7 @@ class LeaseGarbageCollector:
 
     def __init__(
         self,
-        env: "Environment",
+        env: "Effects",
         space: SpaceManager,
         lease_duration: float = 30.0,
         scan_interval: float = 5.0,

@@ -37,11 +37,11 @@ from repro.net.messages import (
     UnlinkPayload,
 )
 from repro.net.rpc import RpcServerPort
-from repro.sim.process import Interrupt
-from repro.sim.resources import Resource
+from repro.core.kernel.process import Interrupt
+from repro.core.kernel.resources import Resource
 
 if _t.TYPE_CHECKING:  # pragma: no cover
-    from repro.sim.engine import Environment
+    from repro.core.effects import Effects
 
 
 @dataclass(frozen=True)
@@ -93,7 +93,7 @@ class MetadataServer:
 
     def __init__(
         self,
-        env: "Environment",
+        env: "Effects",
         params: MdsParameters,
         namespace: Namespace,
         space: SpaceManager,
@@ -275,7 +275,9 @@ class MetadataServer:
             self.service_hist.observe(self.env.now - start)
             if handle_span is not None:
                 self.obs.tracer.end(handle_span)
-            downlink = self.downlinks[message.client_id]
+            # Socket-backed deployments register transports with the
+            # port and carry no modelled downlinks at all.
+            downlink = self.downlinks.get(message.client_id)
             self.port.reply(message, result, downlink)
 
     def _contention_scale(self) -> float:

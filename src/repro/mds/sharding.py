@@ -45,7 +45,7 @@ if _t.TYPE_CHECKING:  # pragma: no cover
     from repro.mds.namespace import Namespace
     from repro.net.link import Link
     from repro.net.rpc import RpcServerPort
-    from repro.sim.engine import Environment
+    from repro.core.effects import Effects
 
 __all__ = [
     "ShardRouter",
@@ -160,7 +160,7 @@ class ShardRoutingTransport:
 
     def __init__(
         self,
-        env: "Environment",
+        env: "Effects",
         uplink: "Link",
         downlink: "Link",
         ports: _t.Sequence["RpcServerPort"],

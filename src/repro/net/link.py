@@ -17,10 +17,10 @@ from __future__ import annotations
 import typing as _t
 from dataclasses import dataclass, field
 
-from repro.sim.events import Event
+from repro.core.kernel.events import Event
 
 if _t.TYPE_CHECKING:  # pragma: no cover
-    from repro.sim.engine import Environment
+    from repro.core.effects import Effects
 
 
 @dataclass
@@ -54,7 +54,7 @@ class Link:
 
     def __init__(
         self,
-        env: "Environment",
+        env: "Effects",
         bandwidth: float = 125e6,
         propagation: float = 60e-6,
         per_message_overhead: int = 78,

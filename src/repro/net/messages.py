@@ -12,7 +12,7 @@ from __future__ import annotations
 import typing as _t
 from dataclasses import dataclass, field
 
-from repro.sim.events import Event
+from repro.core.kernel.events import Event
 
 #: Fixed RPC header/credential bytes per message.
 MESSAGE_HEADER_BYTES = 96

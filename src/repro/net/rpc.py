@@ -30,11 +30,11 @@ from dataclasses import dataclass
 
 from repro.net.link import Link
 from repro.net.messages import Payload, RpcMessage
-from repro.sim.events import Event
-from repro.sim.resources import Store
+from repro.core.kernel.events import Event
+from repro.core.kernel.resources import Store
 
 if _t.TYPE_CHECKING:  # pragma: no cover
-    from repro.sim.engine import Environment
+    from repro.core.effects import Effects
 
 
 class RpcTimeoutError(Exception):
@@ -85,7 +85,7 @@ class RpcServerPort:
     the sender's retry machinery is what recovers them.
     """
 
-    def __init__(self, env: "Environment") -> None:
+    def __init__(self, env: "Effects") -> None:
         self.env = env
         self.inbox: Store = Store(env)
         self.requests_received = 0
@@ -203,7 +203,7 @@ class RpcTransport:
 
     def __init__(
         self,
-        env: "Environment",
+        env: "Effects",
         uplink: Link,
         downlink: Link,
         port: RpcServerPort,
@@ -241,13 +241,13 @@ class RpcClient:
     ``call`` returns an event whose value is whatever the server passed
     to :meth:`RpcServerPort.reply`: the raw reply event when no retry
     policy is set, or a process wrapping the timeout/retransmit loop
-    when one is (a :class:`~repro.sim.process.Process` is itself an
+    when one is (a :class:`~repro.core.kernel.process.Process` is itself an
     event, so callers are oblivious).
     """
 
     def __init__(
         self,
-        env: "Environment",
+        env: "Effects",
         client_id: int,
         transport: RpcTransport,
         obs: _t.Optional[_t.Any] = None,
@@ -346,9 +346,17 @@ class RpcClient:
                 # Dead node: never transmits again, never returns.
                 yield Event(env)
             self.transport.send_request(message)
-            timeout = policy.timeout_for(attempt, self.retry_rng)
-            yield env.any_of([message.reply_event, env.timeout(timeout)])
+            timer = env.timeout(policy.timeout_for(attempt, self.retry_rng))
+            yield env.any_of([message.reply_event, timer])
             if message.reply_event.triggered:
+                # The reply won the race: cancel the losing timer
+                # explicitly.  The calendar entry holds a reference to
+                # the timeout, so the condition's orphan-refcount sweep
+                # can never reclaim it -- without the cancel every
+                # successful call left a live timer on the calendar
+                # until its deadline (unbounded under retry churn, and
+                # a leaked real timer on the asyncio substrate).
+                timer.cancel()
                 self.consecutive_timeouts = 0
                 return message.reply_event.value
             attempt += 1

@@ -1,0 +1,175 @@
+"""Asyncio implementation of the effects boundary.
+
+:class:`AsyncioEffects` lets the kernel primitives (:mod:`repro.core.kernel`)
+and everything written against them -- processes, stores, resources,
+conditions, the whole protocol layer -- run on a real asyncio event loop:
+
+- ``schedule(event, delay)`` becomes ``loop.call_soon`` / ``call_later``
+  into :meth:`_dispatch`, which runs the event's callbacks exactly like
+  ``Environment.step`` does (tombstone skip included);
+- ``now`` is ``loop.time()`` rebased to the substrate's construction
+  instant, so protocol timestamps stay small positive floats as in the
+  simulator;
+- :meth:`as_future` bridges a kernel event into an awaitable for
+  coroutine code (socket readers, server mainloops), and
+  :meth:`event_from_future` bridges the other way.
+
+What is *not* provided here: the deterministic ``(time, priority, seq)``
+total order.  Real timers fire in loop order; two runs of the same
+workload on this substrate will interleave differently.  The protocol
+stack is already correct under that weaker contract -- the simulator's
+fault schedules explore far harsher reorderings -- but trace
+byte-identity is a SimEffects-only property (DESIGN §16).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import typing as _t
+
+from repro.core.effects import Effects
+from repro.core.kernel.events import PRIORITY_NORMAL, Event
+from repro.core.kernel.process import Process
+
+__all__ = ["AsyncioEffects"]
+
+
+class AsyncioEffects(Effects):
+    """Real-time substrate over an asyncio event loop.
+
+    Construct it *inside* a running loop (or pass one explicitly).  All
+    kernel interaction must happen on that loop's thread -- the kernel
+    primitives are as thread-naive as asyncio itself.
+    """
+
+    def __init__(
+        self, loop: _t.Optional[asyncio.AbstractEventLoop] = None
+    ) -> None:
+        if loop is None:
+            try:
+                loop = asyncio.get_running_loop()
+            except RuntimeError:
+                loop = asyncio.new_event_loop()
+                asyncio.set_event_loop(loop)
+        self._loop = loop
+        self._epoch = self._loop.time()
+        self._active_process: _t.Optional[Process] = None
+        #: Unhandled event failures (nothing yielded on the failed event
+        #: and nobody defused it).  The simulator raises out of ``run``;
+        #: an asyncio callback has no caller to raise into, so failures
+        #: are recorded here and re-raised by :meth:`check_failures` /
+        #: the next :meth:`as_future` awaiter.
+        self.failures: _t.List[BaseException] = []
+        self._disk: _t.Optional[_t.Any] = None
+
+    # -- substrate contract ------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Seconds of monotonic real time since substrate construction."""
+        return self._loop.time() - self._epoch
+
+    @property
+    def loop(self) -> asyncio.AbstractEventLoop:
+        return self._loop
+
+    def schedule(
+        self,
+        event: Event,
+        delay: float = 0.0,
+        priority: int = PRIORITY_NORMAL,
+    ) -> None:
+        """Dispatch ``event`` on the loop ``delay`` seconds from now.
+
+        ``priority`` is accepted for interface compatibility and
+        ignored: asyncio offers FIFO ``call_soon`` order only.  Protocol
+        code never depends on the urgent band for correctness (it exists
+        so the simulator initialises processes before same-instant user
+        events; on a real loop the equivalent FIFO order holds anyway).
+        """
+        if delay <= 0.0:
+            self._loop.call_soon(self._dispatch, event)
+        else:
+            self._loop.call_later(delay, self._dispatch, event)
+
+    def _dispatch(self, event: Event) -> None:
+        """Run one event's callbacks -- ``Environment.step`` on a loop.
+
+        A cancelled timeout leaves ``callbacks is None`` behind (the
+        tombstone); its timer handle still fires and lands here as a
+        no-op, exactly like the calendar's tombstone skip.
+        """
+        callbacks = event.callbacks
+        if callbacks is None:
+            return
+        event.callbacks = None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event._defused:
+            cause = event._value
+            if not isinstance(cause, BaseException):
+                cause = RuntimeError(repr(cause))
+            self.failures.append(cause)
+            self._loop.call_exception_handler(
+                {
+                    "message": f"unhandled failure in {event!r}",
+                    "exception": cause,
+                }
+            )
+
+    # -- asyncio bridges ---------------------------------------------------
+
+    def as_future(self, event: Event) -> "asyncio.Future[_t.Any]":
+        """An asyncio future completing when ``event`` is processed.
+
+        The bridge for coroutine code driving kernel machinery: server
+        mainloops await kernel events, socket readers trigger them.
+        """
+        future: "asyncio.Future[_t.Any]" = self._loop.create_future()
+
+        def _complete(ev: Event) -> None:
+            if future.cancelled():
+                return
+            if ev._ok:
+                future.set_result(ev._value)
+            else:
+                ev._defused = True
+                cause = ev._value
+                if not isinstance(cause, BaseException):
+                    cause = RuntimeError(repr(cause))
+                future.set_exception(cause)
+
+        if event.callbacks is None:
+            # Already processed: complete on the next loop tick.
+            self._loop.call_soon(_complete, event)
+        else:
+            event.callbacks.append(_complete)
+        return future
+
+    def event_from_future(
+        self, future: "asyncio.Future[_t.Any]"
+    ) -> Event:
+        """A kernel event mirroring an asyncio future's completion."""
+        event = Event(self)
+
+        def _complete(fut: "asyncio.Future[_t.Any]") -> None:
+            if event.triggered:
+                return
+            if fut.cancelled():
+                event.fail(asyncio.CancelledError())
+            elif fut.exception() is not None:
+                event.fail(fut.exception())
+            else:
+                event.succeed(fut.result())
+
+        future.add_done_callback(_complete)
+        return event
+
+    async def wait(self, event: Event) -> _t.Any:
+        """Await a kernel event from coroutine code."""
+        return await self.as_future(event)
+
+    def check_failures(self) -> None:
+        """Raise the first recorded unhandled event failure, if any."""
+        if self.failures:
+            raise self.failures[0]

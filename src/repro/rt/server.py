@@ -1,0 +1,285 @@
+"""One live metadata shard: the simulator's MDS on a real TCP socket.
+
+``repro serve`` runs one of these per shard process.  The server object
+is the *unmodified* :class:`repro.mds.server.MetadataServer` -- same
+daemon loops, same namespace lock, same exactly-once commit table,
+same reply cache -- running on :class:`repro.rt.AsyncioEffects` instead
+of the virtual calendar.  Only the edges are substrate-specific:
+
+- a per-connection reader decodes request frames (:mod:`repro.net.wire`)
+  and drops them into the server's :class:`~repro.net.rpc.RpcServerPort`
+  inbox, exactly where the simulated uplink would;
+- a per-connection reply transport (registered with the port under the
+  requesting client's id, the rt analogue of
+  :meth:`RpcServerPort.register`) frames replies back down the same
+  socket;
+- a ``ctl`` channel answers ping/stats and performs the shutdown dump.
+
+On shutdown the shard persists its durable state -- namespace, commit
+apply counts, oplog, orphan books -- to ``shard-<k>.json`` in the data
+directory.  That file is the ground truth ``repro smoke``'s oracles
+audit: exactly-once, shard disjointness, fsck, and on-disk data
+patterns all run against it.
+
+``--drop-every N`` makes the shard deliberately drop every Nth request
+frame *before* delivery, forcing real retransmissions through the
+client's retry machinery so the smoke run exercises duplicate
+suppression on real sockets.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import typing as _t
+
+from repro.mds.allocation import SpaceManager
+from repro.mds.namespace import Namespace
+from repro.mds.server import MdsParameters, MetadataServer
+from repro.net.rpc import RpcServerPort
+from repro.net.wire import (
+    FrameDecoder,
+    FrameError,
+    encode_frame,
+    request_from_wire,
+    result_to_wire,
+)
+from repro.core.kernel.events import Event
+from repro.rt.effects import AsyncioEffects
+
+__all__ = ["ShardConfig", "serve_shard", "dump_shard_state"]
+
+
+class ShardConfig:
+    """Everything one shard process needs to know."""
+
+    def __init__(
+        self,
+        shard: int,
+        shards: int,
+        data_dir: str,
+        port: int = 0,
+        host: str = "127.0.0.1",
+        volume_size: int = 256 * 1024 * 1024,
+        num_daemons: int = 4,
+        drop_every: int = 0,
+    ) -> None:
+        if not 0 <= shard < shards:
+            raise ValueError(f"shard {shard} out of range for {shards}")
+        self.shard = shard
+        self.shards = shards
+        self.data_dir = data_dir
+        self.port = port
+        self.host = host
+        self.volume_size = volume_size
+        self.num_daemons = num_daemons
+        self.drop_every = drop_every
+
+    @property
+    def slice_size(self) -> int:
+        return self.volume_size // self.shards
+
+    @property
+    def base_offset(self) -> int:
+        return self.shard * self.slice_size
+
+    @property
+    def dump_path(self) -> str:
+        import os
+
+        return os.path.join(self.data_dir, f"shard-{self.shard}.json")
+
+
+def build_shard_server(
+    env: AsyncioEffects, config: ShardConfig
+) -> MetadataServer:
+    """Assemble the shard's MDS exactly like the simulator factory does:
+    namespace ids in the shard's residue class, space from the shard's
+    disjoint volume slice."""
+    namespace = Namespace(
+        first_id=config.shard + 1, id_step=config.shards
+    )
+    space = SpaceManager(
+        volume_size=config.slice_size,
+        base_offset=config.base_offset,
+        num_groups=4,
+    )
+    port = RpcServerPort(env)
+    params = MdsParameters(
+        num_daemons=config.num_daemons, shards=config.shards
+    )
+    return MetadataServer(
+        env, params, namespace, space, port, downlinks={}
+    )
+
+
+def dump_shard_state(
+    server: MetadataServer, config: ShardConfig
+) -> _t.Dict[str, _t.Any]:
+    """The shard's durable state, JSON-shaped (the smoke oracles' input)."""
+    namespace = server.namespace
+    files = [
+        {
+            "file_id": meta.file_id,
+            "name": meta.name,
+            "ctime": meta.ctime,
+            "mtime": meta.mtime,
+            "size": meta.size,
+            "extents": [
+                [e.file_offset, e.length, e.device_id, e.volume_offset, e.state]
+                for e in meta.extents
+            ],
+        }
+        for meta in sorted(
+            namespace._files.values(), key=lambda m: m.file_id
+        )
+    ]
+    return {
+        "shard": config.shard,
+        "shards": config.shards,
+        "volume_size": config.volume_size,
+        "slice_size": config.slice_size,
+        "base_offset": config.base_offset,
+        "files": files,
+        "commit_apply_counts": [
+            [client_id, op_id, count]
+            for (client_id, op_id), count in sorted(
+                server.commit_apply_counts.items()
+            )
+        ],
+        "oplog_len": len(server.oplog),
+        "uncommitted": {
+            str(client_id): [[start, end] for start, end in ranges]
+            for client_id, ranges in server.space._uncommitted.items()
+        },
+        "stats": {
+            "requests_processed": server.requests_processed,
+            "ops_processed": server.ops_processed,
+            "duplicate_requests_suppressed": (
+                server.duplicate_requests_suppressed
+            ),
+            "duplicate_commits_suppressed": (
+                server.duplicate_commits_suppressed
+            ),
+            "stale_commits": server.stale_commits,
+            "free_bytes": server.space.free_bytes,
+            "files": len(namespace),
+        },
+    }
+
+
+class _ConnReplyTransport:
+    """Reply path for one client connection (``RpcServerPort.reply``
+    routes through whatever transport is registered per client id)."""
+
+    def __init__(self, writer: asyncio.StreamWriter) -> None:
+        self.writer = writer
+
+    def send_reply(self, message: _t.Any) -> None:
+        if self.writer.is_closing():
+            # Client went away: the reply is lost on the wire, exactly
+            # like a downlink drop; the client's retry recovers it.
+            return
+        self.writer.write(
+            encode_frame(
+                {
+                    "frame": "reply",
+                    "client_id": message.client_id,
+                    "xid": message.xid,
+                    "result": result_to_wire(message.result),
+                }
+            )
+        )
+
+
+async def serve_shard(
+    config: ShardConfig,
+    ready: _t.Optional[_t.Callable[[int], None]] = None,
+) -> _t.Dict[str, _t.Any]:
+    """Run one shard until a ctl shutdown arrives; returns its dump."""
+    env = AsyncioEffects(asyncio.get_running_loop())
+    server = build_shard_server(env, config)
+    stop = asyncio.Event()
+    request_counter = [0]
+    dropped = [0]
+
+    async def handle_connection(
+        reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        decoder = FrameDecoder()
+        reply_transport = _ConnReplyTransport(writer)
+        try:
+            while True:
+                data = await reader.read(65536)
+                if not data:
+                    return
+                try:
+                    frames = decoder.feed(data)
+                except FrameError:
+                    # Corrupt stream: nothing after this point can be
+                    # trusted; sever the connection.
+                    return
+                for frame in frames:
+                    kind = frame.get("frame")
+                    if kind == "request":
+                        request_counter[0] += 1
+                        if (
+                            config.drop_every
+                            and request_counter[0] % config.drop_every == 0
+                        ):
+                            dropped[0] += 1
+                            continue
+                        message = request_from_wire(frame, Event(env))
+                        server.port.register(
+                            message.client_id, reply_transport
+                        )
+                        server.port.deliver(message)
+                    elif kind == "ctl":
+                        await handle_ctl(frame, writer)
+                    # Unknown frames are ignored (forward compatibility).
+        except (asyncio.CancelledError, ConnectionError):
+            return
+        finally:
+            try:
+                writer.close()
+            except (ConnectionError, OSError):
+                pass
+
+    async def handle_ctl(
+        frame: _t.Dict[str, _t.Any], writer: asyncio.StreamWriter
+    ) -> None:
+        op = frame.get("op")
+        if op == "ping":
+            reply: _t.Dict[str, _t.Any] = {"ok": True, "shard": config.shard}
+        elif op == "stats":
+            reply = {
+                "ok": True,
+                "shard": config.shard,
+                "stats": dump_shard_state(server, config)["stats"],
+                "requests_dropped": dropped[0],
+            }
+        elif op == "shutdown":
+            dump = dump_shard_state(server, config)
+            dump["requests_dropped"] = dropped[0]
+            with open(config.dump_path, "w") as handle:
+                json.dump(dump, handle, indent=1, sort_keys=True)
+            reply = {"ok": True, "shard": config.shard, "dump": config.dump_path}
+            stop.set()
+        else:
+            reply = {"ok": False, "error": f"unknown ctl op {op!r}"}
+        writer.write(encode_frame(reply))
+        await writer.drain()
+
+    tcp_server = await asyncio.start_server(
+        handle_connection, config.host, config.port
+    )
+    actual_port = tcp_server.sockets[0].getsockname()[1]
+    if ready is not None:
+        ready(actual_port)
+    try:
+        await stop.wait()
+    finally:
+        tcp_server.close()
+        await tcp_server.wait_closed()
+    env.check_failures()
+    return dump_shard_state(server, config)

@@ -32,6 +32,7 @@ Example
 [1.5]
 """
 
+from repro.sim.effects import SimEffects
 from repro.sim.engine import Environment, SimulationError
 from repro.sim.events import (
     AllOf,
@@ -66,6 +67,7 @@ __all__ = [
     "PriorityStore",
     "Process",
     "Resource",
+    "SimEffects",
     "SimulationError",
     "Store",
     "StreamRNG",

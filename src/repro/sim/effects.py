@@ -1,0 +1,32 @@
+"""The virtual-time effects substrate.
+
+:class:`SimEffects` is the simulator's implementation of the effects
+boundary (:class:`repro.core.effects.Effects`).  It *is* the virtual-time
+engine: :class:`~repro.sim.engine.Environment` implements the substrate
+contract directly, so running protocol code "through SimEffects" is
+byte-identical to the pre-refactor engine -- same calendar, same
+``(time, priority, seq)`` total order, same traces.  The golden-digest
+tests (``tests/fs/test_effects_golden.py``) pin exactly that.
+
+The class exists (rather than a bare alias) so the substrate has a home
+for sim-only conveniences that should not live on the engine, and so
+``isinstance(env, SimEffects)`` names the substrate explicitly.
+"""
+
+from __future__ import annotations
+
+from repro.sim.engine import Environment
+
+__all__ = ["SimEffects"]
+
+
+class SimEffects(Environment):
+    """Virtual-time substrate: the engine, under its effects name.
+
+    Subclasses :class:`Environment` without adding state or overriding
+    behaviour, so construction sites may use either name
+    interchangeably -- the factory keeps constructing ``Environment``
+    and stays byte-identical to the seed.
+    """
+
+    __slots__ = ()

@@ -45,14 +45,15 @@ import math
 import typing as _t
 from sys import getrefcount as _getrefcount
 
-from repro.sim.events import (
+from repro.core.effects import Effects
+from repro.core.kernel.events import (
     PRIORITY_NORMAL,
     AllOf,
     AnyOf,
     Event,
     Timeout,
 )
-from repro.sim.process import Process
+from repro.core.kernel.process import Process
 
 # Bound once at import: the calendar operations run once per simulated
 # event, so even the ``heapq.`` attribute lookup is measurable.
@@ -360,8 +361,14 @@ SCHEDULERS: _t.Dict[str, _t.Type] = {
 }
 
 
-class Environment:
+class Environment(Effects):
     """Execution environment for a single simulation.
+
+    The virtual-time substrate of the effects boundary: it implements
+    the :class:`~repro.core.effects.Effects` contract (``now``,
+    ``schedule``, tombstone bookkeeping) over a deterministic event
+    calendar.  :class:`repro.sim.effects.SimEffects` is the named alias
+    protocol assembly code uses.
 
     Parameters
     ----------

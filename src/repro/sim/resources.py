@@ -1,457 +1,35 @@
-"""Shared-resource primitives built on the event kernel.
+"""Compatibility shim: resource primitives now live in the kernel.
 
-These are the coordination structures the file-system model is written
-against:
-
-- :class:`Resource` -- counted semaphore (MDS daemon threads, disk channel).
-- :class:`Store` -- FIFO buffer of items (network queues, request queues).
-- :class:`PriorityStore` -- heap-ordered buffer (elevator staging).
-- :class:`FilterStore` -- buffer with predicate-matched gets (the commit
-  daemon's "check out the local-I/O-completed requests" step).
-- :class:`Container` -- continuous quantity (delegated free space).
-
-All follow the SimPy idiom: operations return events that a process
-``yield``\\ s; a request event used as a context manager auto-releases.
+See :mod:`repro.core.kernel.resources`; re-exported here so existing
+imports and class-identity checks keep working unchanged.
 """
 
-from __future__ import annotations
-
-import heapq
-import typing as _t
-from collections import deque
-from dataclasses import dataclass, field
-
-from repro.sim.events import Event
-
-if _t.TYPE_CHECKING:  # pragma: no cover
-    from repro.sim.engine import Environment
-
-
-# ---------------------------------------------------------------------------
-# Resource (counted semaphore)
-# ---------------------------------------------------------------------------
-
-
-class Request(Event):
-    """A pending or granted claim on a :class:`Resource` slot."""
-
-    __slots__ = ("resource",)
-
-    def __init__(self, resource: "Resource") -> None:
-        super().__init__(resource.env)
-        self.resource = resource
-        resource._do_request(self)
-
-    def __enter__(self) -> "Request":
-        return self
-
-    def __exit__(self, *exc: _t.Any) -> None:
-        # Release if held; withdraw if still queued (the owning process
-        # may be torn down while waiting, e.g. at simulation shutdown).
-        if self in self.resource.users:
-            self.resource.release(self)
-        elif self in self.resource.queue:
-            self.resource.queue.remove(self)
-
-    def cancel(self) -> None:
-        """Withdraw an ungranted request from the wait queue."""
-        self.resource._cancel(self)
-
-
-class Resource:
-    """A shared resource with ``capacity`` identical slots.
-
-    Usage::
-
-        with resource.request() as req:
-            yield req
-            ... hold the slot ...
-    """
-
-    def __init__(self, env: "Environment", capacity: int = 1) -> None:
-        if capacity <= 0:
-            raise ValueError(f"capacity must be positive, got {capacity}")
-        self.env = env
-        self._capacity = capacity
-        self.users: _t.List[Request] = []
-        # A deque, not a list: the MDS daemon pool queues thousands of
-        # waiters at 10k-client scale and every grant used to pop(0).
-        self.queue: _t.Deque[Request] = deque()
-
-    @property
-    def capacity(self) -> int:
-        return self._capacity
-
-    @capacity.setter
-    def capacity(self, value: int) -> None:
-        """Grow or shrink capacity; grants queued requests on growth."""
-        if value <= 0:
-            raise ValueError(f"capacity must be positive, got {value}")
-        self._capacity = value
-        self._grant()
-
-    @property
-    def count(self) -> int:
-        """Number of slots currently held."""
-        return len(self.users)
-
-    def request(self) -> Request:
-        return Request(self)
-
-    def release(self, request: Request) -> None:
-        """Return a slot held by ``request``."""
-        try:
-            self.users.remove(request)
-        except ValueError:
-            raise RuntimeError(f"{request!r} does not hold {self!r}") from None
-        self._grant()
-
-    def _do_request(self, request: Request) -> None:
-        if len(self.users) < self._capacity:
-            self.users.append(request)
-            request.succeed()
-        else:
-            self.queue.append(request)
-
-    def _cancel(self, request: Request) -> None:
-        if request.triggered:
-            raise RuntimeError("cannot cancel a granted request; release it")
-        self.queue.remove(request)
-
-    def _grant(self) -> None:
-        while self.queue and len(self.users) < self._capacity:
-            request = self.queue.popleft()
-            self.users.append(request)
-            request.succeed()
-
-    def __repr__(self) -> str:
-        return (
-            f"<Resource capacity={self._capacity} used={len(self.users)} "
-            f"queued={len(self.queue)}>"
-        )
-
-
-# ---------------------------------------------------------------------------
-# Stores
-# ---------------------------------------------------------------------------
-
-
-class StorePut(Event):
-    """A (possibly waiting) put of ``item`` into a store."""
-
-    __slots__ = ("item",)
-
-    def __init__(self, store: "Store", item: _t.Any) -> None:
-        super().__init__(store.env)
-        self.item = item
-        store._puts.append(self)
-        store._dispatch()
-
-
-class StoreGet(Event):
-    """A (possibly waiting) get from a store."""
-
-    __slots__ = ()
-
-    def __init__(self, store: "Store") -> None:
-        super().__init__(store.env)
-        store._gets.append(self)
-        store._dispatch()
-
-
-class Store:
-    """FIFO buffer of Python objects with optional capacity.
-
-    ``put(item)`` and ``get()`` return events.  Gets are granted in FIFO
-    order; puts block while the buffer is full.
-    """
-
-    def __init__(
-        self, env: "Environment", capacity: float = float("inf")
-    ) -> None:
-        if capacity <= 0:
-            raise ValueError(f"capacity must be positive, got {capacity}")
-        self.env = env
-        self.capacity = capacity
-        #: Buffered items.  A deque for the FIFO stores (popleft is O(1);
-        #: under fan-in the old ``list.pop(0)`` made every dispatch pass
-        #: O(n)); :class:`PriorityStore` swaps in a list for ``heapq``.
-        self.items: _t.MutableSequence[_t.Any] = deque()
-        self._puts: _t.Deque[StorePut] = deque()
-        self._gets: _t.Deque[StoreGet] = deque()
-
-    def __len__(self) -> int:
-        return len(self.items)
-
-    def put(self, item: _t.Any) -> StorePut:
-        return StorePut(self, item)
-
-    def get(self) -> StoreGet:
-        return StoreGet(self)
-
-    def drain(self) -> _t.List[_t.Any]:
-        """Remove and return every buffered item (crash modelling).
-
-        Queued puts are admitted first (their items are "in the buffer"
-        from the sender's point of view) so the returned list is the
-        complete set of items lost with the store's owner.
-        """
-        while self._puts:
-            put = self._puts.popleft()
-            self._store_item(put.item)
-            put.succeed()
-        items = list(self.items)
-        self.items.clear()
-        return items
-
-    def cancel_gets(self) -> int:
-        """Abandon every waiting get; their events never fire.
-
-        Needed when the consumers of this store are torn down (an MDS
-        crash interrupts its daemon processes): an interrupted process
-        leaves its ``StoreGet`` behind, and a later ``put`` would succeed
-        that orphaned get -- silently black-holing the item.  Returns the
-        number of gets cancelled.
-        """
-        cancelled = len(self._gets)
-        self._gets.clear()
-        return cancelled
-
-    # -- internals ---------------------------------------------------------
-
-    def _store_item(self, item: _t.Any) -> None:
-        self.items.append(item)
-
-    def _take_item(self, get_event: StoreGet) -> _t.Optional[_t.Any]:
-        """Return an item for ``get_event`` or None if none available."""
-        if self.items:
-            return self.items.popleft()
-        return None
-
-    def _dispatch(self) -> None:
-        """Match queued puts and gets until no more progress is possible.
-
-        Alternates an admit-puts pass with a serve-gets pass, exactly as
-        many times as the old rebuild-``remaining`` loop did useful work:
-        a further round can only make progress if the gets pass freed
-        buffer room *and* a put is still waiting to use it, so the loop
-        exits as soon as that cannot hold.  Within a pass, puts are
-        admitted and gets served in FIFO order -- the succeed() sequence
-        (and therefore the event calendar) is bit-for-bit identical to
-        the previous implementation, which the determinism tests gate.
-        """
-        puts = self._puts
-        items = self.items
-        capacity = self.capacity
-        while True:
-            while puts and len(items) < capacity:
-                put = puts.popleft()
-                self._store_item(put.item)
-                put.succeed()
-            if not self._serve_gets():
-                return
-            if not puts or len(items) >= capacity:
-                return
-
-    def _serve_gets(self) -> bool:
-        """Serve waiting gets in FIFO order; True if any was served.
-
-        For the FIFO stores an unsatisfiable get at the head means every
-        get behind it is unsatisfiable too (``_take_item`` ignores the
-        get), so the pass stops at the first failure instead of probing
-        each of the ``m`` waiters -- the old quadratic fan-in cost.
-        """
-        gets = self._gets
-        served = False
-        while gets:
-            get = gets[0]
-            item = self._take_item(get)
-            if item is None and not self._satisfied_with_none(get):
-                break
-            gets.popleft()
-            get.succeed(item)
-            served = True
-        return served
-
-    @staticmethod
-    def _satisfied_with_none(_get: StoreGet) -> bool:
-        """Whether a ``None`` return from ``_take_item`` means success.
-
-        Plain stores never buffer ``None`` (reserve it as the no-item
-        signal); subclasses keep that contract.
-        """
-        return False
-
-
-@dataclass(order=True)
-class PriorityItem:
-    """Wrapper giving any payload an explicit priority for a store."""
-
-    priority: float
-    item: _t.Any = field(compare=False)
-
-
-class PriorityStore(Store):
-    """A store whose gets return the smallest item first (heap order)."""
-
-    def __init__(
-        self, env: "Environment", capacity: float = float("inf")
-    ) -> None:
-        super().__init__(env, capacity)
-        # ``heapq`` requires a list, not the FIFO deque of the base class.
-        self.items = []
-
-    def _store_item(self, item: _t.Any) -> None:
-        heapq.heappush(self.items, item)
-
-    def _take_item(self, get_event: StoreGet) -> _t.Optional[_t.Any]:
-        if self.items:
-            return heapq.heappop(self.items)
-        return None
-
-
-class FilterStoreGet(StoreGet):
-    """A get that only matches items satisfying ``predicate``."""
-
-    __slots__ = ("predicate",)
-
-    def __init__(
-        self,
-        store: "FilterStore",
-        predicate: _t.Callable[[_t.Any], bool],
-    ) -> None:
-        self.predicate = predicate
-        super().__init__(store)
-
-
-class FilterStore(Store):
-    """A store supporting predicate-matched retrieval.
-
-    ``get(predicate)`` completes with the first (FIFO) item for which
-    ``predicate(item)`` is true.  This models the commit daemon checking
-    out only those commit records whose local data write has completed.
-    """
-
-    def get(  # type: ignore[override]
-        self, predicate: _t.Callable[[_t.Any], bool] = lambda item: True
-    ) -> FilterStoreGet:
-        return FilterStoreGet(self, predicate)
-
-    def _take_item(self, get_event: StoreGet) -> _t.Optional[_t.Any]:
-        predicate = getattr(get_event, "predicate", None)
-        if predicate is None:
-            return self.items.popleft() if self.items else None
-        for i, item in enumerate(self.items):
-            if predicate(item):
-                del self.items[i]
-                return item
-        return None
-
-    def _serve_gets(self) -> bool:
-        """One FIFO pass over every waiting get (predicates differ).
-
-        Unlike the FIFO stores, an unsatisfiable get here does not imply
-        the ones behind it fail too, so each waiter is probed once per
-        pass.  Rotating through the deque keeps the survivors in their
-        original order without rebuilding a ``remaining`` list; a get's
-        predicate is re-evaluated only when :meth:`Store._dispatch`
-        admitted new items or :meth:`notify` signalled an external state
-        change -- never spuriously within a pass.
-        """
-        gets = self._gets
-        served = False
-        for _ in range(len(gets)):
-            get = gets.popleft()
-            item = self._take_item(get)
-            if item is not None or self._satisfied_with_none(get):
-                get.succeed(item)
-                served = True
-            else:
-                gets.append(get)
-        return served
-
-    def notify(self) -> None:
-        """Re-evaluate waiting gets after external item-state changes.
-
-        FilterStore predicates may depend on mutable item state (e.g. a
-        commit record becoming data-stable); call this after mutating.
-        """
-        self._dispatch()
-
-
-# ---------------------------------------------------------------------------
-# Container (continuous quantity)
-# ---------------------------------------------------------------------------
-
-
-class ContainerPut(Event):
-    __slots__ = ("amount",)
-
-    def __init__(self, container: "Container", amount: float) -> None:
-        if amount <= 0:
-            raise ValueError(f"amount must be positive, got {amount}")
-        super().__init__(container.env)
-        self.amount = amount
-        container._puts.append(self)
-        container._dispatch()
-
-
-class ContainerGet(Event):
-    __slots__ = ("amount",)
-
-    def __init__(self, container: "Container", amount: float) -> None:
-        if amount <= 0:
-            raise ValueError(f"amount must be positive, got {amount}")
-        super().__init__(container.env)
-        self.amount = amount
-        container._gets.append(self)
-        container._dispatch()
-
-
-class Container:
-    """A homogeneous continuous quantity (bytes of delegated space, etc.)."""
-
-    def __init__(
-        self,
-        env: "Environment",
-        capacity: float = float("inf"),
-        init: float = 0.0,
-    ) -> None:
-        if capacity <= 0:
-            raise ValueError(f"capacity must be positive, got {capacity}")
-        if not 0 <= init <= capacity:
-            raise ValueError(f"init {init} outside [0, {capacity}]")
-        self.env = env
-        self.capacity = capacity
-        self._level = init
-        self._puts: _t.Deque[ContainerPut] = deque()
-        self._gets: _t.Deque[ContainerGet] = deque()
-
-    @property
-    def level(self) -> float:
-        return self._level
-
-    def put(self, amount: float) -> ContainerPut:
-        return ContainerPut(self, amount)
-
-    def get(self, amount: float) -> ContainerGet:
-        return ContainerGet(self, amount)
-
-    def _dispatch(self) -> None:
-        progressed = True
-        while progressed:
-            progressed = False
-            if self._puts:
-                put = self._puts[0]
-                if self._level + put.amount <= self.capacity:
-                    self._puts.popleft()
-                    self._level += put.amount
-                    put.succeed()
-                    progressed = True
-            if self._gets:
-                get = self._gets[0]
-                if get.amount <= self._level:
-                    self._gets.popleft()
-                    self._level -= get.amount
-                    get.succeed()
-                    progressed = True
+from repro.core.kernel.resources import (  # noqa: F401
+    Container,
+    ContainerGet,
+    ContainerPut,
+    FilterStore,
+    FilterStoreGet,
+    PriorityItem,
+    PriorityStore,
+    Request,
+    Resource,
+    Store,
+    StoreGet,
+    StorePut,
+)
+
+__all__ = [
+    "Container",
+    "ContainerGet",
+    "ContainerPut",
+    "FilterStore",
+    "FilterStoreGet",
+    "PriorityItem",
+    "PriorityStore",
+    "Request",
+    "Resource",
+    "Store",
+    "StoreGet",
+    "StorePut",
+]

@@ -16,12 +16,12 @@ from __future__ import annotations
 
 import typing as _t
 
-from repro.sim.events import Event
+from repro.core.kernel.events import Event
 from repro.storage.disk import DiskArray
 from repro.storage.scheduler import READ, WRITE, BlockRequest, ElevatorScheduler
 
 if _t.TYPE_CHECKING:  # pragma: no cover
-    from repro.sim.engine import Environment
+    from repro.core.effects import Effects
 
 
 class BlockDevice:
@@ -29,7 +29,7 @@ class BlockDevice:
 
     def __init__(
         self,
-        env: "Environment",
+        env: "Effects",
         client_id: int,
         array: DiskArray,
         max_merge_bytes: int = 512 * 1024,

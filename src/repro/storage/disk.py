@@ -26,7 +26,7 @@ from __future__ import annotations
 import typing as _t
 from dataclasses import dataclass
 
-from repro.sim.rng import StreamRNG
+from repro.util.rng import StreamRNG
 from repro.storage.blktrace import BlkTrace
 from repro.storage.scheduler import (
     READ,
@@ -37,7 +37,7 @@ from repro.storage.scheduler import (
 from repro.util.intervals import IntervalSet
 
 if _t.TYPE_CHECKING:  # pragma: no cover
-    from repro.sim.engine import Environment
+    from repro.core.effects import Effects
 
 
 @dataclass(frozen=True)
@@ -146,7 +146,7 @@ class DiskArray:
 
     def __init__(
         self,
-        env: "Environment",
+        env: "Effects",
         params: DiskParameters,
         rng: StreamRNG,
         trace: _t.Optional[BlkTrace] = None,

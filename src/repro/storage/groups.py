@@ -33,7 +33,7 @@ from dataclasses import dataclass, field
 from repro.util.intervals import IntervalSet
 
 if _t.TYPE_CHECKING:
-    from repro.sim.environment import Environment
+    from repro.core.effects import Effects
 
 __all__ = [
     "Arrangement",
@@ -113,7 +113,7 @@ class StorageGroup:
 
     def __init__(
         self,
-        env: "Environment",
+        env: "Effects",
         arrangement: Arrangement,
         rng,
         obs=None,

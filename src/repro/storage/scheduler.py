@@ -22,10 +22,10 @@ import bisect
 import typing as _t
 from dataclasses import dataclass, field
 
-from repro.sim.events import Event
+from repro.core.kernel.events import Event
 
 if _t.TYPE_CHECKING:  # pragma: no cover
-    from repro.sim.engine import Environment
+    from repro.core.effects import Effects
 
 READ = "read"
 WRITE = "write"
@@ -154,7 +154,7 @@ class ElevatorScheduler:
 
     def __init__(
         self,
-        env: "Environment",
+        env: "Effects",
         client_id: int,
         max_merge_bytes: int = 512 * 1024,
         read_deadline: float = 0.05,

@@ -1,0 +1,75 @@
+"""Pre-refactor golden digests: the effects boundary changed nothing.
+
+The three digests below were recorded on the tree *before* the protocol
+layer was ported from ``repro.sim`` to :class:`repro.core.effects`.
+A fixed-seed workload through :class:`repro.sim.effects.SimEffects`
+must still produce the byte-identical block trace: the kernel move
+preserved class identity (``repro.sim.events.Event`` *is*
+``repro.core.kernel.events.Event``), so any drift here means the
+refactor altered scheduling order or RNG draws, not just module paths.
+"""
+
+import hashlib
+
+from repro.core.effects import Effects
+from repro.fs.factory import build_cluster
+from repro.workloads.xcdn import XcdnWorkload
+
+# sha256 over repr() of every blktrace row of the standard fixed-seed
+# run (num_clients=4, seed=11, 32 KiB files, 6 seed files per client,
+# duration 0.3 s after 0.05 s warmup), recorded pre-refactor.
+GOLDEN = {
+    "redbud-delayed": (
+        "1db28146ca57e1254a67fbb9ca0b32421885f2e0bf3db879d35443e91afde53e"
+    ),
+    "redbud-delayed-shards2": (
+        "12512764744b61ca1951520d0cb4c402ba8a9b4da62ab79b9c7808d44ec612a7"
+    ),
+    "redbud-original": (
+        "ee37ff87736331481d6e2705e326d32f5843a367ec6985d8dee1bb0a924a9cea"
+    ),
+}
+
+
+def _run(system, **kw):
+    cluster = build_cluster(system, num_clients=4, seed=11, **kw)
+    cluster.run_workload(
+        XcdnWorkload(file_size=32 * 1024, seed_files_per_client=6),
+        duration=0.3,
+        warmup=0.05,
+    )
+    return cluster
+
+
+def _digest(cluster):
+    digest = hashlib.sha256()
+    for row in cluster.blktrace.to_rows():
+        digest.update(repr(row).encode())
+    return digest.hexdigest()
+
+
+def test_delayed_commit_trace_matches_pre_refactor_golden():
+    cluster = _run("redbud-delayed")
+    assert _digest(cluster) == GOLDEN["redbud-delayed"]
+    # The cluster runs on the effects interface, not on a sim-only API.
+    assert isinstance(cluster.env, Effects)
+
+
+def test_sharded_delayed_trace_matches_pre_refactor_golden():
+    cluster = _run("redbud-delayed", shards=2)
+    assert _digest(cluster) == GOLDEN["redbud-delayed-shards2"]
+
+
+def test_original_protocol_trace_matches_pre_refactor_golden():
+    cluster = _run("redbud-original")
+    assert _digest(cluster) == GOLDEN["redbud-original"]
+
+
+def test_sim_substrate_is_an_effects_subclass():
+    from repro.sim import Environment
+    from repro.sim.effects import SimEffects
+
+    assert issubclass(SimEffects, Environment)
+    assert issubclass(Environment, Effects)
+    env = SimEffects()
+    assert env.now == 0.0

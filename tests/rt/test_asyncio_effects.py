@@ -1,0 +1,184 @@
+"""Kernel primitives on the asyncio substrate.
+
+The same generator processes, stores, timeouts and conditions that run
+on the virtual calendar must run unmodified on a real event loop via
+:class:`repro.rt.AsyncioEffects` -- that is the substrate contract of
+DESIGN §16.  Times here are real seconds, so delays are kept tiny.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.core.effects import Effects
+from repro.core.kernel.events import Event
+from repro.core.kernel.resources import Store
+from repro.rt.effects import AsyncioEffects
+
+
+def _run(coro):
+    return asyncio.run(coro)
+
+
+def test_is_an_effects_substrate():
+    async def main():
+        env = AsyncioEffects()
+        assert isinstance(env, Effects)
+        assert env.loop is asyncio.get_running_loop()
+        return env.now
+
+    start = _run(main())
+    assert 0.0 <= start < 1.0
+
+
+def test_process_timeout_and_now():
+    async def main():
+        env = AsyncioEffects()
+        marks = []
+
+        def proc():
+            t0 = env.now
+            yield env.timeout(0.01)
+            marks.append(env.now - t0)
+            yield env.sleep(0.01)
+            marks.append(env.now - t0)
+            return "done"
+
+        result = await env.wait(env.process(proc()))
+        return result, marks
+
+    result, marks = _run(main())
+    assert result == "done"
+    assert marks[0] >= 0.01
+    assert marks[1] >= 0.02
+
+
+def test_store_producer_consumer():
+    async def main():
+        env = AsyncioEffects()
+        store = Store(env)
+        got = []
+
+        def producer():
+            for i in range(5):
+                yield env.timeout(0.001)
+                store.put(i)
+
+        def consumer():
+            for _ in range(5):
+                item = yield store.get()
+                got.append(item)
+
+        p = env.process(producer())
+        c = env.process(consumer())
+        await env.wait(env.all_of([p, c]))
+        return got
+
+    assert _run(main()) == [0, 1, 2, 3, 4]
+
+
+def test_any_of_reply_beats_timer_and_cancel_tombstones():
+    """The rpc retry race on a real loop: the winning event's value
+    comes back, and cancelling the losing timer leaves only a no-op
+    tombstone for its already-armed loop timer."""
+
+    async def main():
+        env = AsyncioEffects()
+        reply = Event(env)
+
+        def responder():
+            yield env.timeout(0.005)
+            reply.succeed("pong")
+
+        def caller():
+            timer = env.timeout(5.0)
+            yield env.any_of([reply, timer])
+            assert reply.triggered
+            timer.cancel()
+            return reply.value
+
+        env.process(responder())
+        result = await env.wait(env.process(caller()))
+        env.check_failures()
+        return result
+
+    assert _run(main()) == "pong"
+
+
+def test_spawn_and_all_of():
+    async def main():
+        env = AsyncioEffects()
+
+        def worker(k):
+            yield env.timeout(0.001 * k)
+            return k * k
+
+        procs = [env.spawn(worker(k)) for k in range(1, 4)]
+        await env.wait(env.all_of(procs))
+        return [p.value for p in procs]
+
+    assert _run(main()) == [1, 4, 9]
+
+
+def test_future_bridges_both_ways():
+    async def main():
+        env = AsyncioEffects()
+
+        # asyncio -> kernel: a future's result completes a kernel event.
+        future = asyncio.get_running_loop().create_future()
+        event = env.event_from_future(future)
+        future.set_result(42)
+        await asyncio.sleep(0)
+        assert event.triggered and event.value == 42
+
+        # kernel -> asyncio: awaiting an already-processed event works.
+        done = env.timeout(0.0, value="early")
+        await asyncio.sleep(0.005)
+        return await env.wait(done)
+
+    assert _run(main()) == "early"
+
+
+def test_process_failure_propagates_through_wait():
+    async def main():
+        env = AsyncioEffects()
+
+        def boom():
+            yield env.timeout(0.001)
+            raise ValueError("boom")
+
+        with pytest.raises(ValueError, match="boom"):
+            await env.wait(env.process(boom()))
+        # The awaiter consumed (defused) the failure; nothing unhandled.
+        env.check_failures()
+
+    _run(main())
+
+
+def test_unhandled_failure_is_recorded():
+    async def main():
+        env = AsyncioEffects()
+        loop = asyncio.get_running_loop()
+        # Keep the default handler from printing during the test.
+        loop.set_exception_handler(lambda _loop, _ctx: None)
+
+        def boom():
+            yield env.timeout(0.001)
+            raise ValueError("nobody listening")
+
+        env.process(boom())
+        await asyncio.sleep(0.01)
+        assert len(env.failures) == 1
+        with pytest.raises(ValueError, match="nobody listening"):
+            env.check_failures()
+
+    _run(main())
+
+
+def test_rng_and_obs_default_to_none():
+    async def main():
+        env = AsyncioEffects()
+        assert env.obs is None
+        assert env.rng is None
+
+    _run(main())

@@ -1,0 +1,284 @@
+"""End-to-end: live 2-shard cluster over real sockets, audited on disk.
+
+Boots ``repro serve`` as a subprocess (one child process per shard),
+drives the unmodified delayed-commit client stack against it with
+:func:`repro.rt.smoke.run_smoke`, and asserts the full oracle subset
+passes on the shards' persisted state.  Also unit-tests the oracles
+against fabricated bad dumps so a green smoke run means the checks can
+actually fail.
+"""
+
+import asyncio
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+from repro.rt.smoke import SmokeConfig, run_oracles, run_smoke
+
+VOLUME_SIZE = 8 * 1024 * 1024
+
+
+def _start_cluster(data_dir, shards=2, drop_every=5):
+    env = dict(os.environ)
+    src = os.path.join(
+        os.path.dirname(__file__), os.pardir, os.pardir, "src"
+    )
+    env["PYTHONPATH"] = os.path.abspath(src) + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--shards",
+            str(shards),
+            "--data-dir",
+            data_dir,
+            "--volume-size",
+            str(VOLUME_SIZE),
+            "--drop-every",
+            str(drop_every),
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    cluster_file = os.path.join(data_dir, "cluster.json")
+    deadline = time.monotonic() + 30
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            out = proc.stdout.read() if proc.stdout else ""
+            raise AssertionError(
+                f"repro serve exited early ({proc.returncode}):\n{out}"
+            )
+        if os.path.exists(cluster_file):
+            with open(cluster_file) as handle:
+                return proc, json.load(handle)
+        time.sleep(0.05)
+    proc.send_signal(signal.SIGTERM)
+    raise AssertionError("cluster.json never appeared")
+
+
+def test_live_two_shard_cluster_passes_oracles(tmp_path):
+    data_dir = str(tmp_path)
+    proc, cluster = _start_cluster(data_dir)
+    try:
+        assert cluster["shards"] == 2
+        assert len(cluster["addresses"]) == 2
+        config = SmokeConfig(
+            addresses=[tuple(a) for a in cluster["addresses"]],
+            data_dir=data_dir,
+            shards=cluster["shards"],
+            volume_size=cluster["volume_size"],
+            clients=2,
+            files_per_client=3,
+            file_size=8 * 1024,
+            timeout=60.0,
+        )
+        report = asyncio.run(run_smoke(config))
+    finally:
+        try:
+            proc.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            proc.send_signal(signal.SIGTERM)
+            proc.wait(timeout=10)
+
+    assert report["ok"], json.dumps(report["oracles"], indent=2)
+    # 2 clients x 3 files, every 4th unlinked (index 3) -- none here.
+    assert report["files_persisted"] == 6
+    assert report["files_expected"] == 6
+    assert report["committed_bytes"] > 0
+    # The --drop-every faults forced real retransmissions through the
+    # client retry machinery, and exactly-once still held.
+    total_dropped = sum(
+        s.get("requests_dropped", 0) for s in report["shard_stats"]
+    )
+    total_retries = sum(
+        c["rpc_retries"] for c in report["client_stats"]
+    )
+    assert total_dropped > 0
+    assert total_retries >= total_dropped
+    # serve exited cleanly after the ctl shutdown.
+    assert proc.returncode == 0
+    # Both shards persisted dumps.
+    for shard in range(2):
+        assert os.path.exists(
+            os.path.join(data_dir, f"shard-{shard}.json")
+        )
+
+
+def _config(tmp_path):
+    return SmokeConfig(
+        addresses=[("127.0.0.1", 0), ("127.0.0.1", 0)],
+        data_dir=str(tmp_path),
+        shards=2,
+        volume_size=VOLUME_SIZE,
+    )
+
+
+def _dump(shard, shards=2, files=(), counts=()):
+    slice_size = VOLUME_SIZE // shards
+    return {
+        "shard": shard,
+        "shards": shards,
+        "volume_size": VOLUME_SIZE,
+        "slice_size": slice_size,
+        "base_offset": shard * slice_size,
+        "files": list(files),
+        "commit_apply_counts": list(counts),
+        "oplog_len": 0,
+        "uncommitted": {},
+        "stats": {},
+    }
+
+
+def _file(file_id, extents, size=None, name=None):
+    return {
+        "file_id": file_id,
+        "name": name or f"f{file_id}",
+        "ctime": 0.0,
+        "mtime": 0.0,
+        "size": size if size is not None else sum(e[1] for e in extents),
+        "extents": extents,
+    }
+
+
+def _write_volume(tmp_path, spans):
+    path = os.path.join(str(tmp_path), "volume.img")
+    with open(path, "wb") as handle:
+        handle.truncate(VOLUME_SIZE)
+        for offset, length, byte in spans:
+            handle.seek(offset)
+            handle.write(bytes([byte]) * length)
+    return path
+
+
+def test_oracles_flag_double_applied_commit(tmp_path):
+    _write_volume(tmp_path, [])
+    report = run_oracles(
+        [_dump(0, counts=[[1, 7, 2]]), _dump(1)],
+        os.path.join(str(tmp_path), "volume.img"),
+        {},
+        _config(tmp_path),
+    )
+    assert not report["ok"]
+    assert "applied 2 times" in report["oracles"]["exactly_once"][0]
+
+
+def test_oracles_flag_overlapping_extents(tmp_path):
+    from repro.rt.disk import pattern_byte
+
+    # Two files on shard 0 (ids 1 and 3) claiming the same volume range.
+    ext = [0, 4096, 0, 0, "committed"]
+    _write_volume(
+        tmp_path,
+        [(0, 4096, pattern_byte(1)), (0, 4096, pattern_byte(3))],
+    )
+    report = run_oracles(
+        [
+            _dump(0, files=[_file(1, [ext]), _file(3, [list(ext)])]),
+            _dump(1),
+        ],
+        os.path.join(str(tmp_path), "volume.img"),
+        {1: 4096, 3: 4096},
+        _config(tmp_path),
+    )
+    assert not report["ok"]
+    assert report["oracles"]["disjointness"]
+    # The overlap also breaks the allocator rebuild.
+    assert report["oracles"]["fsck"]
+
+
+def test_oracles_flag_foreign_shard_file(tmp_path):
+    _write_volume(tmp_path, [])
+    # file_id 2 belongs to shard 1's residue class, persisted by shard 0.
+    report = run_oracles(
+        [_dump(0, files=[_file(2, [])]), _dump(1)],
+        os.path.join(str(tmp_path), "volume.img"),
+        {2: 0},
+        _config(tmp_path),
+    )
+    assert not report["ok"]
+    assert report["oracles"]["shard_ownership"]
+
+
+def test_oracles_flag_extent_escaping_slice(tmp_path):
+    from repro.rt.disk import pattern_byte
+
+    slice_size = VOLUME_SIZE // 2
+    # Shard 0 file with an extent inside shard 1's slice.
+    ext = [0, 4096, 0, slice_size + 8192, "committed"]
+    _write_volume(tmp_path, [(slice_size + 8192, 4096, pattern_byte(1))])
+    report = run_oracles(
+        [_dump(0, files=[_file(1, [ext])]), _dump(1)],
+        os.path.join(str(tmp_path), "volume.img"),
+        {1: 4096},
+        _config(tmp_path),
+    )
+    assert not report["ok"]
+    assert any(
+        "escapes" in v for v in report["oracles"]["shard_ownership"]
+    )
+
+
+def test_oracles_flag_wrong_bytes_on_disk(tmp_path):
+    from repro.rt.disk import pattern_byte
+
+    ext = [0, 4096, 0, 0, "committed"]
+    # Volume holds the wrong pattern byte for file 1.
+    _write_volume(tmp_path, [(0, 4096, pattern_byte(1) ^ 0xFF)])
+    report = run_oracles(
+        [_dump(0, files=[_file(1, [ext])]), _dump(1)],
+        os.path.join(str(tmp_path), "volume.img"),
+        {1: 4096},
+        _config(tmp_path),
+    )
+    assert not report["ok"]
+    assert report["oracles"]["data_pattern"]
+
+
+def test_oracles_flag_missing_and_size_mismatched_files(tmp_path):
+    from repro.rt.disk import pattern_byte
+
+    ext = [0, 4096, 0, 0, "committed"]
+    _write_volume(tmp_path, [(0, 4096, pattern_byte(1))])
+    report = run_oracles(
+        [_dump(0, files=[_file(1, [ext], size=4096)]), _dump(1)],
+        os.path.join(str(tmp_path), "volume.img"),
+        {1: 8192, 2: 4096},
+        _config(tmp_path),
+    )
+    assert not report["ok"]
+    issues = report["oracles"]["expectations"]
+    assert any("persisted size" in v for v in issues)
+    assert any("absent" in v for v in issues)
+
+
+def test_oracles_pass_on_consistent_state(tmp_path):
+    from repro.rt.disk import pattern_byte
+
+    slice_size = VOLUME_SIZE // 2
+    a = [0, 4096, 0, 0, "committed"]
+    b = [0, 4096, 0, slice_size, "committed"]
+    _write_volume(
+        tmp_path,
+        [(0, 4096, pattern_byte(1)), (slice_size, 4096, pattern_byte(2))],
+    )
+    report = run_oracles(
+        [
+            _dump(0, files=[_file(1, [a])], counts=[[1, 1, 1]]),
+            _dump(1, files=[_file(2, [b])], counts=[[1, 2, 1]]),
+        ],
+        os.path.join(str(tmp_path), "volume.img"),
+        {1: 4096, 2: 4096},
+        _config(tmp_path),
+    )
+    assert report["ok"], json.dumps(report["oracles"], indent=2)
+    assert report["violations"] == 0
+    assert report["committed_bytes"] == 8192

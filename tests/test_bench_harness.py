@@ -71,6 +71,34 @@ def test_fingerprint_still_sees_tracked_modifications(repo):
     assert code_fingerprint(str(repo)) != clean
 
 
+def test_fingerprint_covers_rt_substrate(repo):
+    """``src/repro/rt`` (the asyncio substrate) must invalidate the
+    bench cache like any other src/ code: tracked edits, new untracked
+    modules, and the no-git fallback walk all have to see it."""
+    rt = repo / "src" / "repro" / "rt"
+    rt.mkdir(parents=True)
+    (rt / "effects.py").write_text("E = 1\n")
+    _git(repo, "add", "-A")
+    _git(repo, "commit", "-q", "-m", "rt")
+    clean = code_fingerprint(str(repo))
+    (rt / "effects.py").write_text("E = 2\n")
+    assert code_fingerprint(str(repo)) != clean
+    _git(repo, "checkout", "--", ".")
+    assert code_fingerprint(str(repo)) == clean
+    (rt / "transport.py").write_text("T = 1\n")
+    assert code_fingerprint(str(repo)) != clean
+
+
+def test_fallback_fingerprint_covers_rt_substrate(tmp_path):
+    rt = tmp_path / "src" / "repro" / "rt"
+    rt.mkdir(parents=True)
+    (rt / "effects.py").write_text("E = 1\n")
+    base = code_fingerprint(str(tmp_path))
+    assert base.startswith("src-")
+    (rt / "effects.py").write_text("E = 2\n")
+    assert code_fingerprint(str(tmp_path)) != base
+
+
 def test_fallback_fingerprint_covers_benchmarks(tmp_path):
     """Without git, the walk must include benchmarks/ alongside src/."""
     (tmp_path / "src").mkdir()
